@@ -1,0 +1,121 @@
+// fbuf-pipeline: the §3.1 microkernel scenario — network data crossing
+// three protection domains (device driver → multiplexing server →
+// multimedia application). With early demultiplexing, the driver places
+// each incoming PDU in a *cached* fbuf already mapped along the path;
+// the comparison shows the order-of-magnitude gap to uncached fbufs and
+// to a traditional copy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/fbuf"
+	"repro/internal/hostsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const (
+	frameBytes = 32 * 1024 // one video frame
+	frames     = 64
+	hotVCI     = 7
+)
+
+func main() {
+	e := sim.NewEngine(1)
+	h := hostsim.New(e, hostsim.DEC5000_200(), 8192)
+	mgr := fbuf.NewManager(h, 0)
+
+	drv := fbuf.NewDomain(h, "driver")
+	srv := fbuf.NewDomain(h, "av-server")
+	app := fbuf.NewDomain(h, "player")
+	chain := []*fbuf.Domain{drv, srv, app}
+
+	run := func(name string, deliver func(p *sim.Proc, data []byte) error) time.Duration {
+		var elapsed time.Duration
+		e.Go(name, func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < frames; i++ {
+				if err := deliver(p, workload.Payload(frameBytes, byte(i))); err != nil {
+					log.Fatal(err)
+				}
+			}
+			elapsed = time.Duration(p.Now() - start)
+		})
+		e.Run()
+		return elapsed
+	}
+
+	// Connection setup: preallocate the hot path's cached fbufs (this is
+	// the one-time cost early demultiplexing amortizes away).
+	e.Go("setup", func(p *sim.Proc) {
+		if err := mgr.DefinePath(p, hotVCI, chain, 4, frameBytes); err != nil {
+			log.Fatal(err)
+		}
+	})
+	e.Run()
+
+	cached := run("cached", func(p *sim.Proc, data []byte) error {
+		f, err := mgr.Alloc(p, hotVCI, drv, frameBytes)
+		if err != nil {
+			return err
+		}
+		if err := f.Write(drv, 0, data); err != nil {
+			return err
+		}
+		if err := f.Transfer(p, drv, srv); err != nil {
+			return err
+		}
+		if err := f.Transfer(p, srv, app); err != nil {
+			return err
+		}
+		if _, err := f.Read(app, 0, 16); err != nil {
+			return err
+		}
+		mgr.Free(f)
+		return nil
+	})
+
+	uncached := run("uncached", func(p *sim.Proc, data []byte) error {
+		// A cold VCI: no preallocated pool, so every frame pays the
+		// per-page mapping cost twice.
+		f, err := mgr.AllocUncached(p, drv, frameBytes)
+		if err != nil {
+			return err
+		}
+		if err := f.Write(drv, 0, data); err != nil {
+			return err
+		}
+		if err := f.Transfer(p, drv, srv); err != nil {
+			return err
+		}
+		if err := f.Transfer(p, srv, app); err != nil {
+			return err
+		}
+		return nil // uncached fbufs are not pooled per path
+	})
+
+	pages := frameBytes / h.Mem.PageSize()
+	copied := run("copy", func(p *sim.Proc, data []byte) error {
+		mgr.CopyTransfer(p, pages) // driver → server
+		mgr.CopyTransfer(p, pages) // server → app
+		return nil
+	})
+	e.Shutdown()
+
+	perFrame := func(d time.Duration) float64 { return d.Seconds() * 1e6 / frames }
+	mbps := func(d time.Duration) float64 {
+		return float64(frames*frameBytes) * 8 / d.Seconds() / 1e6
+	}
+	fmt.Printf("3-domain delivery of %d × %d KB frames (DEC 5000/200 model):\n", frames, frameBytes/1024)
+	fmt.Printf("  cached fbufs:    %8.1f µs/frame  (%7.1f Mbps)\n", perFrame(cached), mbps(cached))
+	fmt.Printf("  uncached fbufs:  %8.1f µs/frame  (%7.1f Mbps)\n", perFrame(uncached), mbps(uncached))
+	fmt.Printf("  copying:         %8.1f µs/frame  (%7.1f Mbps)\n", perFrame(copied), mbps(copied))
+	fmt.Printf("\ncached vs uncached: %.1fx — \"an order of magnitude difference\" (§3.1)\n",
+		float64(uncached)/float64(cached))
+	s := mgr.Stats()
+	fmt.Printf("manager: %d cached transfers, %d uncached, %d pages mapped on the data path\n",
+		s.CachedTransfers, s.UncachedTransfers, s.PagesMapped)
+}

@@ -1,0 +1,170 @@
+// striping-skew: §2.6 — the OSIRIS interface stripes cells over four
+// physical links, and the network introduces bounded misordering
+// ("skew"). This example sends messages across heavily skewed links
+// under each reassembly strategy and reports what survives:
+//
+//   - four-aal5:      four concurrent AAL5 reassemblies (the paper's
+//     preferred strategy) — correct under skew;
+//   - seqnum:         per-cell sequence numbers — correct under skew;
+//   - arrival-order:  no skew handling — silently corrupts.
+//
+// It also shows the §2.6 corollary: skew destroys the double-cell DMA
+// combining opportunity.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/dpm"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func run(strategy board.ReassemblyStrategy, skew atm.SkewModel, dma board.DMAMode) (delivered, intact int, combined, single int64) {
+	tb := core.NewTestbed(core.Options{
+		Profile: hostsim.DEC3000_600(),
+		Driver:  driver.Config{Cache: driver.CacheNone},
+		Board:   board.Config{Strategy: strategy, RxDMA: dma},
+		Link:    atm.LinkConfig{Skew: skew},
+	})
+	defer tb.Shutdown()
+
+	send, err := tb.A.Raw.Open(proto.RawOpen{VCI: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	recv, err := tb.B.Raw.Open(proto.RawOpen{VCI: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const msgs = 6
+	payload := workload.Payload(20_000, 3)
+	recv.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		delivered++
+		b, _ := m.Bytes()
+		if bytes.Equal(b, payload) {
+			intact++
+		}
+	})
+	tb.Eng.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			m, err := msg.FromBytes(tb.A.Host.Kernel, payload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := send.Push(p, m); err != nil {
+				log.Fatal(err)
+			}
+			tb.A.Drv.Flush(p)
+		}
+	})
+	tb.Eng.RunUntil(tb.Eng.Now().Add(200 * time.Millisecond))
+	s := tb.B.Board.Stats()
+	return delivered, intact, s.CombinedDMAs, s.SingleDMAs
+}
+
+func main() {
+	// Heavy but bounded skew: per-link constant offsets (path length /
+	// multiplexing) plus random queueing delay.
+	skew := atm.ConstantSkew{PerLink: []time.Duration{0, 11 * time.Microsecond, 4 * time.Microsecond, 17 * time.Microsecond}}
+
+	fmt.Println("6 × 20 KB messages over 4 striped links with heavy skew:")
+	for _, s := range []board.ReassemblyStrategy{board.FourAAL5, board.SeqNum, board.ArrivalOrder} {
+		delivered, intact, _, _ := run(s, skew, board.SingleCell)
+		verdict := "CORRECT"
+		if intact < delivered {
+			verdict = "CORRUPTED"
+		}
+		if delivered == 0 {
+			verdict = "LOST"
+		}
+		fmt.Printf("  %-14s delivered %d/6, intact %d/6  → %s\n", s, delivered, intact, verdict)
+	}
+
+	fmt.Println("\ndouble-cell DMA combining (§2.6: skew suppresses it).")
+	fmt.Println("Cells delivered back-to-back into the board's FIFO, so the")
+	fmt.Println("receive processor can always peek at a second header:")
+	c0, s0 := combineRatio(0)
+	c1, s1 := combineRatio(3)
+	ratio := func(c, s int64) float64 {
+		if c+s == 0 {
+			return 0
+		}
+		return float64(2*c) / float64(2*c+s)
+	}
+	fmt.Printf("  no skew:          %4d combined / %4d single DMAs  (%.0f%% of cells combined)\n", c0, s0, 100*ratio(c0, s0))
+	fmt.Printf("  one link lagging: %4d combined / %4d single DMAs  (%.0f%% of cells combined)\n", c1, s1, 100*ratio(c1, s1))
+	fmt.Println("(in host-to-host operation combining also depends on the sender")
+	fmt.Println(" outpacing the receiver's DMA — the §4 closing observation)")
+}
+
+// combineRatio drives one board directly: a 16 KB PDU's cells injected
+// back-to-back with one link lagging by `lag` cells, counting the DMA
+// mix the receive processor achieves.
+func combineRatio(lag int) (combined, single int64) {
+	e := sim.NewEngine(5)
+	h := hostsim.New(e, hostsim.DEC3000_600(), 2048)
+	b := board.New(e, h, board.Config{RxDMA: board.DoubleCell, Strategy: board.FourAAL5})
+	b.BindVCI(9, 0)
+	ch := b.KernelChannel()
+	data := workload.Payload(16384, 8)
+	e.Go("feeder", func(p *sim.Proc) {
+		// Supply receive buffers.
+		for i := 0; i < 4; i++ {
+			frames, err := h.Mem.AllocContiguous(4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ch.FreeRing.TryPush(p, dpm.Host, queue.Desc{Addr: h.Mem.FrameAddr(frames[0]), Len: 16384})
+		}
+		cells := atm.Segment(9, data, 4, false)
+		perLink := make([][]atm.Cell, 4)
+		for i := range cells {
+			perLink[i%4] = append(perLink[i%4], cells[i])
+		}
+		idx := make([]int, 4)
+		for round := 0; ; round++ {
+			progress := false
+			for l := 0; l < 4; l++ {
+				turn := round
+				if l == 1 {
+					turn = round - lag
+				}
+				if turn >= 0 && idx[l] < len(perLink[l]) && idx[l] <= turn {
+					for !b.InjectCell(perLink[l][idx[l]], l) {
+						p.Sleep(2 * time.Microsecond)
+					}
+					idx[l]++
+					progress = true
+				}
+			}
+			done := true
+			for l := 0; l < 4; l++ {
+				if idx[l] < len(perLink[l]) {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			if !progress {
+				p.Sleep(time.Microsecond)
+			}
+		}
+	})
+	e.RunUntil(e.Now().Add(100 * time.Millisecond))
+	e.Shutdown()
+	st := b.Stats()
+	return st.CombinedDMAs, st.SingleDMAs
+}

@@ -1,0 +1,223 @@
+// Package adc implements application device channels (§3.2): restricted
+// but direct application access to the OSIRIS adaptor, bypassing the
+// operating system kernel on both the control and the data path.
+//
+// The OS's role is confined to connection establishment and
+// termination: it picks a free transmit/receive queue-page pair, maps
+// it into the application's address space, assigns the channel a VCI
+// set, a priority, and a list of physical pages the application may
+// legally use as buffers — enforced by the on-board processors, which
+// raise an access-violation interrupt on any descriptor naming an
+// unauthorized page. Host interrupts are still fielded by the kernel's
+// handler, which directly signals a thread in the application's channel
+// driver.
+//
+// The channel driver linked with the application is, as in the paper,
+// "essentially the same" code as the in-kernel driver: another
+// driver.Driver instance running over the ADC's channel with the
+// application's address space and authorized frames. The replicated
+// application-linked protocol stack is an ordinary proto.IP/UDP pair
+// constructed over that driver.
+package adc
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// AppDomain is an application protection domain.
+type AppDomain struct {
+	Name  string
+	Space *mem.AddressSpace
+}
+
+// NewAppDomain creates an application domain on h.
+func NewAppDomain(h *hostsim.Host, name string) *AppDomain {
+	return &AppDomain{Name: name, Space: h.Mem.NewSpace(name)}
+}
+
+// Config sizes an ADC at open time.
+type Config struct {
+	// BufBytes / BufCount size the channel's receive buffers (defaults
+	// 16 KB × 16).
+	BufBytes int
+	BufCount int
+	// ExtraPages grants additional authorized pages for the
+	// application's transmit buffers (default 32).
+	ExtraPages int
+	// Priority orders this ADC's transmissions against others (§3.2).
+	Priority int
+	// SlowWiring passes through to the channel driver.
+	SlowWiring bool
+	// Cache passes through to the channel driver.
+	Cache driver.CachePolicy
+}
+
+// ADC is one open application device channel.
+type ADC struct {
+	mgr      *Manager
+	app      *AppDomain
+	Index    int
+	VCIs     []atm.VCI
+	drv      *driver.Driver
+	txFrames [][]mem.Frame // authorized transmit buffer runs handed to the app
+	closed   bool
+}
+
+// Driver returns the application's channel driver. Everything it does —
+// queueing descriptors, reaping completions, draining the receive ring —
+// happens without kernel involvement.
+func (a *ADC) Driver() *driver.Driver { return a.drv }
+
+// App returns the owning application domain.
+func (a *ADC) App() *AppDomain { return a.app }
+
+// TxBuffer returns the i-th authorized transmit buffer as a virtual
+// address in the application's space, mapping it on first use.
+func (a *ADC) TxBuffer(i int) (mem.VirtAddr, int, error) {
+	if i < 0 || i >= len(a.txFrames) {
+		return 0, 0, fmt.Errorf("adc: tx buffer %d out of range", i)
+	}
+	run := a.txFrames[i]
+	va, err := a.app.Space.MapFrames(run)
+	if err != nil {
+		return 0, 0, err
+	}
+	return va, len(run) * a.mgr.host.Mem.PageSize(), nil
+}
+
+// Manager is the kernel-side ADC service for one board.
+type Manager struct {
+	host  *hostsim.Host
+	b     *board.Board
+	inUse [board.NumChannels]bool
+
+	// OnViolation is invoked (in interrupt context) when the board
+	// reports an authorization violation on a channel — the kernel
+	// raising "an access violation exception in the offending
+	// application process".
+	OnViolation func(channel int)
+
+	violations map[int]int64
+}
+
+// NewManager returns the ADC service for board b. Channel 0 stays with
+// the kernel.
+func NewManager(h *hostsim.Host, b *board.Board) *Manager {
+	m := &Manager{host: h, b: b, violations: make(map[int]int64)}
+	m.inUse[0] = true
+	for i := 1; i < board.NumChannels; i++ {
+		idx := i
+		h.Int.Handle(board.VioIRQBase+idx, func(p *sim.Proc) {
+			m.violations[idx]++
+			if m.OnViolation != nil {
+				m.OnViolation(idx)
+			}
+		})
+	}
+	return m
+}
+
+// Violations reports how many authorization violations channel i has
+// raised.
+func (m *Manager) Violations(i int) int64 { return m.violations[i] }
+
+// Open establishes an ADC for app: it claims a queue-page pair, carves
+// and authorizes the channel's physical pages, binds the VCIs, and
+// starts the application-linked channel driver. This is the only part
+// of the ADC lifecycle in which the kernel participates (§3.2); the
+// setup cost (page mappings, wiring) is charged to p.
+func (m *Manager) Open(p *sim.Proc, app *AppDomain, vcis []atm.VCI, cfg Config) (*ADC, error) {
+	if cfg.BufBytes == 0 {
+		cfg.BufBytes = 16 * 1024
+	}
+	if cfg.BufCount == 0 {
+		cfg.BufCount = 16
+	}
+	if cfg.ExtraPages == 0 {
+		cfg.ExtraPages = 32
+	}
+	idx := -1
+	for i := 1; i < board.NumChannels; i++ {
+		if !m.inUse[i] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("adc: no free channels")
+	}
+	m.inUse[idx] = true
+
+	pagesPerBuf := (cfg.BufBytes + m.host.Mem.PageSize() - 1) / m.host.Mem.PageSize()
+	var allowed []mem.Frame
+	var bufRuns [][]mem.Frame
+	for i := 0; i < cfg.BufCount; i++ {
+		run, err := m.host.Mem.AllocContiguous(pagesPerBuf)
+		if err != nil {
+			return nil, err
+		}
+		bufRuns = append(bufRuns, run)
+		allowed = append(allowed, run...)
+	}
+	var txRuns [][]mem.Frame
+	for got := 0; got < cfg.ExtraPages; got += 4 {
+		run, err := m.host.Mem.AllocContiguous(4)
+		if err != nil {
+			return nil, err
+		}
+		txRuns = append(txRuns, run)
+		allowed = append(allowed, run...)
+	}
+
+	// Kernel work: open the channel on the board, authorize the pages,
+	// map the two queue pages into the application (modelled as two page
+	// mappings plus the board programming writes).
+	m.b.OpenChannel(idx, cfg.Priority, allowed)
+	for _, v := range vcis {
+		m.b.BindVCI(v, idx)
+	}
+	m.host.Compute(p, 2*m.host.Prof.FbufMapPerPage) // queue-page mappings
+	m.host.WirePages(p, len(allowed), cfg.SlowWiring)
+
+	reserve := cfg.BufCount / 4
+	if reserve == 0 {
+		reserve = 1
+	}
+	drv := driver.New(p.Engine(), m.host, m.b, driver.Config{
+		ChannelIndex: idx,
+		Space:        app.Space,
+		BufferFrames: bufRuns,
+		ReserveBufs:  reserve,
+		Cache:        cfg.Cache,
+		SlowWiring:   cfg.SlowWiring,
+	})
+	return &ADC{
+		mgr:      m,
+		app:      app,
+		Index:    idx,
+		VCIs:     append([]atm.VCI(nil), vcis...),
+		drv:      drv,
+		txFrames: txRuns,
+	}, nil
+}
+
+// Close tears the channel down: unbinds its VCIs and returns the queue
+// pages to the pool. (Physical buffer pages stay with the application
+// domain; a full VM reclaim is outside the ADC's scope.)
+func (m *Manager) Close(a *ADC) {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, v := range a.VCIs {
+		m.b.UnbindVCI(v)
+	}
+	m.inUse[a.Index] = false
+}

@@ -1,0 +1,214 @@
+package atm
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultLinkRate is the line rate of one physical link: 155 Mbps
+// (OC-3c). Four of them stripe into the 622 Mbps logical channel.
+const DefaultLinkRate = 155_000_000
+
+// SkewModel produces the extra delay experienced by each cell on each
+// physical link. Per-link FIFO order is enforced by the Link regardless
+// of the delays returned, matching §2.6: "cells transmitted on a given
+// physical link will arrive in order relative to each other, but may be
+// delayed relative to cells sent on other links."
+type SkewModel interface {
+	// Delay returns the additional latency for the next cell on link.
+	Delay(link int, rng *rand.Rand) time.Duration
+}
+
+// NoSkew delays nothing: all links behave identically (the AURORA
+// single-fiber case eliminating path-length skew).
+type NoSkew struct{}
+
+// Delay implements SkewModel.
+func (NoSkew) Delay(int, *rand.Rand) time.Duration { return 0 }
+
+// ConstantSkew gives each link a fixed extra delay — differing physical
+// path lengths or multiplexing equipment (§2.6 causes 1 and 2).
+type ConstantSkew struct {
+	PerLink []time.Duration
+}
+
+// Delay implements SkewModel.
+func (s ConstantSkew) Delay(link int, _ *rand.Rand) time.Duration {
+	if link < len(s.PerLink) {
+		return s.PerLink[link]
+	}
+	return 0
+}
+
+// QueueingSkew adds a uniformly distributed random delay in [0, Max] per
+// cell — distinct queueing delays at distinct switch ports (§2.6 cause
+// 3, the unbounded one).
+type QueueingSkew struct {
+	Max time.Duration
+}
+
+// Delay implements SkewModel.
+func (s QueueingSkew) Delay(_ int, rng *rand.Rand) time.Duration {
+	if s.Max <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(s.Max) + 1))
+}
+
+// LinkConfig configures one physical link.
+type LinkConfig struct {
+	RateBps   int64         // line rate (default DefaultLinkRate)
+	PropDelay time.Duration // propagation delay (default 1µs)
+	FIFODepth int           // transmit-side FIFO cells (default 4)
+	Index     int           // link index within its stripe group
+	Skew      SkewModel     // nil means NoSkew
+	// LossRate is the probability that a cell is lost in the network
+	// (drawn per cell from the engine's seeded source). The paper's
+	// premise: "the underlying network is not reliable" (§2.3).
+	LossRate float64
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Sent      int64
+	Delivered int64
+	Lost      int64
+}
+
+// Link is one unidirectional physical link. Cells submitted with Send
+// are paced out at line rate and delivered, in order, to the receiver
+// callback after propagation delay plus model skew.
+type Link struct {
+	eng         *sim.Engine
+	cfg         LinkConfig
+	queue       *sim.Chan[Cell]
+	lastDeliver sim.Time
+	deliver     func(c Cell, link int)
+	stats       LinkStats
+}
+
+// NewLink creates a link and starts its pacing process.
+func NewLink(e *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.RateBps == 0 {
+		cfg.RateBps = DefaultLinkRate
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = time.Microsecond
+	}
+	if cfg.FIFODepth == 0 {
+		cfg.FIFODepth = 4
+	}
+	if cfg.Skew == nil {
+		cfg.Skew = NoSkew{}
+	}
+	l := &Link{
+		eng:   e,
+		cfg:   cfg,
+		queue: sim.NewChan[Cell](e, cfg.FIFODepth),
+	}
+	e.Go("link-pacer", l.pace)
+	return l
+}
+
+// CellTime returns the serialization time of one cell at line rate.
+func (l *Link) CellTime() time.Duration {
+	return time.Duration(int64(CellSize*8) * int64(time.Second) / l.cfg.RateBps)
+}
+
+// SetReceiver installs the delivery callback. It runs in engine (event)
+// context, so it must not block; typically it pushes into the receiving
+// board's header FIFO with TrySend.
+func (l *Link) SetReceiver(fn func(c Cell, link int)) { l.deliver = fn }
+
+// Send submits a cell for transmission, blocking p while the link's
+// transmit FIFO is full — the backpressure the board's segmentation
+// loop experiences.
+func (l *Link) Send(p *sim.Proc, c Cell) {
+	l.queue.Send(p, c)
+	l.stats.Sent++
+}
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+func (l *Link) pace(p *sim.Proc) {
+	for {
+		c := l.queue.Recv(p)
+		p.Sleep(l.CellTime()) // serialization
+		if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
+			l.stats.Lost++
+			continue
+		}
+		at := p.Now().Add(l.cfg.PropDelay + l.cfg.Skew.Delay(l.cfg.Index, l.eng.Rand()))
+		if at <= l.lastDeliver {
+			at = l.lastDeliver + 1 // preserve per-link FIFO order
+		}
+		l.lastDeliver = at
+		cell := c
+		l.eng.At(at, func() {
+			l.stats.Delivered++
+			if l.deliver != nil {
+				l.deliver(cell, l.cfg.Index)
+			}
+		})
+	}
+}
+
+// StripeGroup bundles width physical links into one logical channel with
+// cell-level round-robin striping (§2.6).
+type StripeGroup struct {
+	links []*Link
+	next  int
+}
+
+// NewStripeGroup creates width links sharing the given base config (the
+// Index field is overridden per link).
+func NewStripeGroup(e *sim.Engine, width int, cfg LinkConfig) *StripeGroup {
+	if width <= 0 {
+		panic("atm: stripe width must be positive")
+	}
+	g := &StripeGroup{}
+	for i := 0; i < width; i++ {
+		c := cfg
+		c.Index = i
+		g.links = append(g.links, NewLink(e, c))
+	}
+	return g
+}
+
+// Width returns the number of physical links.
+func (g *StripeGroup) Width() int { return len(g.links) }
+
+// Link returns the i-th physical link.
+func (g *StripeGroup) Link(i int) *Link { return g.links[i] }
+
+// SetReceiver installs the delivery callback on every link.
+func (g *StripeGroup) SetReceiver(fn func(c Cell, link int)) {
+	for _, l := range g.links {
+		l.SetReceiver(fn)
+	}
+}
+
+// Send transmits one cell on the next link in round-robin order,
+// blocking p if that link's FIFO is full.
+func (g *StripeGroup) Send(p *sim.Proc, c Cell) {
+	g.links[g.next].Send(p, c)
+	g.next = (g.next + 1) % len(g.links)
+}
+
+// ResetRoundRobin restarts striping at link 0, so each PDU's first cell
+// goes out on a known link (the board does this per PDU).
+func (g *StripeGroup) ResetRoundRobin() { g.next = 0 }
+
+// AggregatePayloadMbps returns the logical channel's payload bandwidth:
+// width × rate × 44/53 — the "516 Mbps data bandwidth available in a
+// 622 Mbps SONET/ATM link" figure of §2.5.1.
+func (g *StripeGroup) AggregatePayloadMbps() float64 {
+	var total float64
+	for _, l := range g.links {
+		total += float64(l.cfg.RateBps)
+	}
+	return total * CellPayload / CellSize / 1e6
+}

@@ -1,0 +1,219 @@
+package atm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestCellTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, LinkConfig{})
+	// 53 bytes × 8 bits / 155 Mbps ≈ 2735 ns.
+	want := time.Duration(53 * 8 * int64(time.Second) / 155_000_000)
+	if l.CellTime() != want {
+		t.Errorf("CellTime = %v, want %v", l.CellTime(), want)
+	}
+	e.Shutdown()
+}
+
+func TestLinkDeliversInOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, LinkConfig{})
+	var got []uint32
+	l.SetReceiver(func(c Cell, _ int) { got = append(got, c.Seq) })
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			l.Send(p, Cell{Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d cells, want 20", len(got))
+	}
+	for i, s := range got {
+		if s != uint32(i) {
+			t.Fatalf("delivery order %v", got)
+		}
+	}
+}
+
+func TestLinkPacesAtLineRate(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, LinkConfig{PropDelay: time.Microsecond})
+	var last sim.Time
+	n := 0
+	l.SetReceiver(func(c Cell, _ int) { last = e.Now(); n++ })
+	const cells = 100
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < cells; i++ {
+			l.Send(p, Cell{Len: CellPayload})
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if n != cells {
+		t.Fatalf("delivered %d", n)
+	}
+	// Total time ≈ cells × cellTime + propDelay.
+	want := time.Duration(cells)*l.CellTime() + time.Microsecond
+	got := time.Duration(last)
+	if got < want || got > want+time.Duration(cells)*2 {
+		t.Errorf("last delivery at %v, want ≈ %v", got, want)
+	}
+}
+
+func TestQueueingSkewPreservesPerLinkOrder(t *testing.T) {
+	e := sim.NewEngine(7)
+	l := NewLink(e, LinkConfig{Skew: QueueingSkew{Max: 50 * time.Microsecond}})
+	var got []uint32
+	l.SetReceiver(func(c Cell, _ int) { got = append(got, c.Seq) })
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			l.Send(p, Cell{Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	for i, s := range got {
+		if s != uint32(i) {
+			t.Fatalf("per-link order violated: %v", got)
+		}
+	}
+}
+
+func TestConstantSkewDelaysOneLink(t *testing.T) {
+	e := sim.NewEngine(1)
+	skew := ConstantSkew{PerLink: []time.Duration{0, 100 * time.Microsecond}}
+	l0 := NewLink(e, LinkConfig{Index: 0, Skew: skew})
+	l1 := NewLink(e, LinkConfig{Index: 1, Skew: skew})
+	var order []int
+	rx := func(c Cell, link int) { order = append(order, link) }
+	l0.SetReceiver(rx)
+	l1.SetReceiver(rx)
+	e.Go("tx", func(p *sim.Proc) {
+		l1.Send(p, Cell{Len: CellPayload}) // sent first, but delayed link
+		l0.Send(p, Cell{Len: CellPayload})
+	})
+	e.Run()
+	e.Shutdown()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("arrival order = %v, want [0 1] (skewed link arrives later)", order)
+	}
+}
+
+func TestStripeGroupRoundRobin(t *testing.T) {
+	e := sim.NewEngine(1)
+	g := NewStripeGroup(e, 4, LinkConfig{})
+	counts := make(map[int]int)
+	g.SetReceiver(func(c Cell, link int) { counts[link]++ })
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			g.Send(p, Cell{Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	for link := 0; link < 4; link++ {
+		if counts[link] != 3 {
+			t.Errorf("link %d carried %d cells, want 3", link, counts[link])
+		}
+	}
+}
+
+func TestStripeGroupResetRoundRobin(t *testing.T) {
+	e := sim.NewEngine(1)
+	g := NewStripeGroup(e, 4, LinkConfig{})
+	var firstLink = -1
+	g.SetReceiver(func(c Cell, link int) {
+		if firstLink == -1 {
+			firstLink = link
+		}
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		g.Send(p, Cell{Len: CellPayload})
+		g.Send(p, Cell{Len: CellPayload})
+		g.ResetRoundRobin()
+		g.Send(p, Cell{Len: CellPayload})
+	})
+	e.Run()
+	e.Shutdown()
+	if g.next != 1 {
+		t.Errorf("after reset+1 send, next = %d, want 1", g.next)
+	}
+	if firstLink != 0 {
+		t.Errorf("first cell went on link %d, want 0", firstLink)
+	}
+}
+
+func TestAggregatePayloadMbps(t *testing.T) {
+	e := sim.NewEngine(1)
+	g := NewStripeGroup(e, 4, LinkConfig{})
+	got := g.AggregatePayloadMbps()
+	// 4 × 155 × 44/53 ≈ 514.7 Mbps — the paper rounds to 516.
+	if got < 510 || got > 520 {
+		t.Errorf("aggregate payload = %f Mbps, want ≈ 515", got)
+	}
+	e.Shutdown()
+}
+
+func TestStripedThroughputApproachesAggregate(t *testing.T) {
+	// Blast cells over a 4-wide stripe; payload throughput must approach
+	// 4 links' worth, i.e. ~4x one link.
+	e := sim.NewEngine(1)
+	g := NewStripeGroup(e, 4, LinkConfig{})
+	n := 0
+	g.SetReceiver(func(c Cell, _ int) { n++ })
+	const cells = 4000
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < cells; i++ {
+			g.Send(p, Cell{Len: CellPayload})
+		}
+	})
+	end := e.Run()
+	e.Shutdown()
+	mbps := float64(n*CellPayload*8) / end.Seconds() / 1e6
+	want := g.AggregatePayloadMbps()
+	if mbps < want*0.98 || mbps > want*1.02 {
+		t.Errorf("striped throughput %f Mbps, want ≈ %f", mbps, want)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	e := sim.NewEngine(1)
+	l := NewLink(e, LinkConfig{})
+	l.SetReceiver(func(Cell, int) {})
+	e.Go("tx", func(p *sim.Proc) {
+		l.Send(p, Cell{Len: CellPayload})
+		l.Send(p, Cell{Len: CellPayload})
+	})
+	e.Run()
+	e.Shutdown()
+	s := l.Stats()
+	if s.Sent != 2 || s.Delivered != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSkewModels(t *testing.T) {
+	e := sim.NewEngine(3)
+	if (NoSkew{}).Delay(0, e.Rand()) != 0 {
+		t.Error("NoSkew delayed")
+	}
+	cs := ConstantSkew{PerLink: []time.Duration{5}}
+	if cs.Delay(0, e.Rand()) != 5 || cs.Delay(7, e.Rand()) != 0 {
+		t.Error("ConstantSkew wrong")
+	}
+	qs := QueueingSkew{Max: 100}
+	for i := 0; i < 50; i++ {
+		d := qs.Delay(0, e.Rand())
+		if d < 0 || d > 100 {
+			t.Fatalf("QueueingSkew out of range: %v", d)
+		}
+	}
+	if (QueueingSkew{}).Delay(0, e.Rand()) != 0 {
+		t.Error("zero-max QueueingSkew delayed")
+	}
+}

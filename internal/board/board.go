@@ -1,0 +1,480 @@
+// Package board models the OSIRIS network adaptor.
+//
+// Following the paper's central observation that "software running on
+// the two 80960s controls the send/receive functionality of the adaptor,
+// and ... this code effectively defines the software interface between
+// the host and the adaptor" (§1), the board here is ordinary code
+// running as two simulated processes — a transmit processor and a
+// receive processor — over the dual-port memory, a pair of DMA
+// controllers, and the striped ATM links. Changing "firmware" policy
+// (reassembly strategy, DMA length, interrupt discipline) is a
+// configuration of this package, exactly as reprogramming the i960s was.
+//
+// The board exposes sixteen transmit queue pages and sixteen
+// free/receive queue-page pairs (§3.2). Channel 0 is the kernel's; the
+// rest can be mapped into applications as application device channels.
+package board
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/dpm"
+	"repro/internal/hostsim"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// DMAMode selects the receive-side DMA transfer length policy (§2.5.1).
+type DMAMode int
+
+const (
+	// SingleCell issues one DMA per cell payload (44 bytes).
+	SingleCell DMAMode = iota
+	// DoubleCell lets the receive processor look at two cell headers and
+	// combine contiguous payloads into one 88-byte DMA (§2.5.1).
+	DoubleCell
+)
+
+func (m DMAMode) String() string {
+	if m == DoubleCell {
+		return "double-cell"
+	}
+	return "single-cell"
+}
+
+// TxDMAPolicy selects how the transmit DMA controller handles cells
+// whose bytes span a buffer boundary (§2.5.2).
+type TxDMAPolicy int
+
+const (
+	// BoundaryStop is the implemented fix: the DMA stops at the buffer
+	// (page) boundary and a second address fills the rest of the cell,
+	// so cells are always full and buffers need not be multiples of the
+	// cell payload.
+	BoundaryStop TxDMAPolicy = iota
+	// FixedCell is the original design: DMA lengths are exactly one cell
+	// payload, so a buffer that does not end on a 44-byte multiple forces
+	// a partially-filled cell in the middle of the PDU — the inelegant,
+	// interoperability-breaking behaviour of §2.5.2.
+	FixedCell
+	// ArbitraryLength is the "ideal solution" the programmable logic
+	// could not afford: any transfer length (behaviourally equal to
+	// BoundaryStop for chained buffers; kept as a distinct mode for the
+	// ablation benchmarks).
+	ArbitraryLength
+)
+
+func (p TxDMAPolicy) String() string {
+	switch p {
+	case FixedCell:
+		return "fixed-cell"
+	case ArbitraryLength:
+		return "arbitrary-length"
+	default:
+		return "boundary-stop"
+	}
+}
+
+// ReassemblyStrategy selects how the receive processor copes with
+// striping skew (§2.6).
+type ReassemblyStrategy int
+
+const (
+	// FourAAL5 runs one AAL5-style reassembly per physical link, placing
+	// the j-th cell received on link l at offset (j·width+l)·44 — the
+	// strategy that exploits per-link ordering (§2.6 strategy two).
+	FourAAL5 ReassemblyStrategy = iota
+	// SeqNum places each cell by an explicit per-cell sequence number in
+	// the AAL header (§2.6 strategy one).
+	SeqNum
+	// ArrivalOrder places cells in arrival order — correct only without
+	// skew; the ablation showing why skew handling is needed.
+	ArrivalOrder
+)
+
+func (s ReassemblyStrategy) String() string {
+	switch s {
+	case SeqNum:
+		return "seqnum"
+	case ArrivalOrder:
+		return "arrival-order"
+	default:
+		return "four-aal5"
+	}
+}
+
+// UsesSeqNumbers reports whether the transmit side must stamp per-cell
+// sequence numbers for this strategy.
+func (s ReassemblyStrategy) UsesSeqNumbers() bool { return s == SeqNum }
+
+// IRQ line assignment: one receive, one transmit-flow-control, and one
+// protection-violation line per channel.
+const (
+	RxIRQBase  = 0
+	TxIRQBase  = 16
+	VioIRQBase = 32
+)
+
+// NumChannels is the number of queue pages per direction (§3.2).
+const NumChannels = dpm.PagesPerHalf
+
+// Config configures a board's firmware policies.
+type Config struct {
+	Name     string
+	RxDMA    DMAMode
+	TxPolicy TxDMAPolicy
+	Strategy ReassemblyStrategy
+
+	// Ring slot counts (defaults 64, the paper's queue length, §2.3).
+	TxRingSlots   int
+	FreeRingSlots int
+	RecvRingSlots int
+
+	// RxFIFOCells is the on-board cell FIFO depth (default 64). Overflow
+	// drops cells, modelling inadequate buffering.
+	RxFIFOCells int
+
+	// CellOverheadTx / CellOverheadRx price the per-cell firmware work
+	// of the two on-board processors. Defaults (1.08 µs / 0.6 µs) are
+	// calibrated so single-cell transmit tops out near the paper's
+	// 325 Mbps and receive reassembly runs at "approximately OC-12
+	// speeds in software" (§5).
+	CellOverheadTx time.Duration
+	CellOverheadRx time.Duration
+
+	// PollDelay models the latency for a polling on-board processor to
+	// notice new work in the dual-port memory.
+	PollDelay time.Duration
+
+	// InterruptPerPDU reverts to the traditional signalling the paper's
+	// design replaces (§2.1.2): assert a host interrupt for every
+	// received buffer and for every transmit completion, instead of the
+	// empty→non-empty / tail-advance discipline. Ablation only.
+	InterruptPerPDU bool
+
+	// StripeWidth is the number of physical links (default 4).
+	StripeWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "osiris"
+	}
+	if c.TxRingSlots == 0 {
+		c.TxRingSlots = 64
+	}
+	if c.FreeRingSlots == 0 {
+		c.FreeRingSlots = 64
+	}
+	if c.RecvRingSlots == 0 {
+		c.RecvRingSlots = 64
+	}
+	if c.RxFIFOCells == 0 {
+		c.RxFIFOCells = 64
+	}
+	if c.CellOverheadTx == 0 {
+		c.CellOverheadTx = 1080 * time.Nanosecond
+	}
+	if c.CellOverheadRx == 0 {
+		c.CellOverheadRx = 600 * time.Nanosecond
+	}
+	if c.PollDelay == 0 {
+		c.PollDelay = 200 * time.Nanosecond
+	}
+	if c.StripeWidth == 0 {
+		c.StripeWidth = atm.StripeWidth
+	}
+	return c
+}
+
+// Stats counts board activity.
+type Stats struct {
+	CellsTx          int64
+	CellsRx          int64
+	PDUsTx           int64
+	PDUsRx           int64
+	PDUsDropped      int64 // reassembly gave up (no buffers, bad placement)
+	CellsDroppedFIFO int64
+	CellsNoVCI       int64
+	PartialCellsTx   int64 // mid-PDU partial cells (FixedCell policy)
+	SplitCellsTx     int64 // cells composed from two buffer segments
+	CombinedDMAs     int64 // double-cell DMAs issued
+	SingleDMAs       int64
+	RxIRQs           int64
+	TxIRQs           int64
+	Violations       int64
+	ScratchRecycled  int64
+}
+
+// Channel is one transmit page plus one free/receive page pair — the
+// unit the OS can keep for itself (channel 0) or map into an application
+// as an ADC (§3.2).
+type Channel struct {
+	board    *Board
+	Index    int
+	Priority int
+	open     bool
+
+	TxRing   *queue.Ring
+	FreeRing *queue.Ring
+	RecvRing *queue.Ring
+
+	// allowed is the set of physical frames this channel may name in
+	// descriptors; nil means unrestricted (the kernel channel).
+	allowed map[mem.Frame]bool
+
+	tx        txStream
+	peekAhead int // descs peeked past, awaiting tail advance by the DMA engine
+	reasm     map[atm.VCI]*reasmState
+	stash     []queue.Desc // internally recycled scratch buffers
+}
+
+// Open reports whether the channel has been opened.
+func (c *Channel) Open() bool { return c.open }
+
+// NotifyFlagOff returns the dual-port offset of this channel's
+// transmit-queue "interrupt me at half empty" flag (§2.1.2).
+func (c *Channel) NotifyFlagOff() uint32 {
+	return dpm.TxPageOff(c.Index) + dpm.PageSize - 4
+}
+
+// Board is one OSIRIS adaptor plugged into a host.
+type Board struct {
+	eng  *sim.Engine
+	host *hostsim.Host
+	cfg  Config
+
+	DPM *dpm.Memory
+
+	chans  [NumChannels]*Channel
+	vciMap map[atm.VCI]*Channel
+
+	outLinks []*atm.Link // transmit side, indexed by stripe position
+	txSink   func(c atm.Cell, link int)
+	rxFIFO   *sim.Chan[rxCell]
+
+	irq func(line int)
+
+	txWork  *sim.Cond
+	txRR    int // round-robin cursor among equal-priority channels
+	txCmds  *sim.Chan[txCmd]
+	rxCmds  *sim.Chan[rxCmd]
+	fireCtl *sim.Chan[fictReq]
+
+	stats Stats
+}
+
+type rxCell struct {
+	c    atm.Cell
+	link int
+}
+
+// New creates a board attached to host h. Interrupts are delivered to
+// the host's interrupt controller. The transmit processor, receive
+// processor and both DMA controllers start immediately.
+func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
+	cfg = cfg.withDefaults()
+	b := &Board{
+		eng:    e,
+		host:   h,
+		cfg:    cfg,
+		DPM:    dpm.New(e, h.Bus),
+		vciMap: make(map[atm.VCI]*Channel),
+		rxFIFO: sim.NewChan[rxCell](e, cfg.RxFIFOCells),
+		irq:    h.Int.Assert,
+	}
+	for i := 0; i < NumChannels; i++ {
+		ch := &Channel{
+			board: b,
+			Index: i,
+			reasm: make(map[atm.VCI]*reasmState),
+		}
+		ch.TxRing = queue.NewRing(b.DPM, dpm.TxPageOff(i), cfg.TxRingSlots)
+		rxBase := dpm.RxPageOff(i)
+		ch.FreeRing = queue.NewRing(b.DPM, rxBase, cfg.FreeRingSlots)
+		ch.RecvRing = queue.NewRing(b.DPM, rxBase+uint32(queue.BytesFor(cfg.FreeRingSlots)), cfg.RecvRingSlots)
+		b.chans[i] = ch
+	}
+	if queue.BytesFor(cfg.FreeRingSlots)+queue.BytesFor(cfg.RecvRingSlots) > dpm.PageSize {
+		panic("board: free+recv rings exceed one queue page")
+	}
+	if queue.BytesFor(cfg.TxRingSlots) > dpm.PageSize-4 {
+		panic("board: tx ring exceeds its queue page")
+	}
+	b.chans[0].open = true // the kernel's channel
+
+	b.txWork = sim.NewCond(e)
+	b.txCmds = sim.NewChan[txCmd](e, 8)
+	b.rxCmds = sim.NewChan[rxCmd](e, 16)
+	b.fireCtl = sim.NewChan[fictReq](e, 1)
+
+	e.Go(cfg.Name+"-txproc", b.txProc)
+	e.Go(cfg.Name+"-txdma", b.txDMAEngine)
+	e.Go(cfg.Name+"-rxproc", b.rxProc)
+	e.Go(cfg.Name+"-rxdma", b.rxDMAEngine)
+	e.Go(cfg.Name+"-fict", b.fictProc)
+	return b
+}
+
+// Config returns the effective configuration.
+func (b *Board) Config() Config { return b.cfg }
+
+// Host returns the host this board is plugged into.
+func (b *Board) Host() *hostsim.Host { return b.host }
+
+// Stats returns a copy of the counters.
+func (b *Board) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters.
+func (b *Board) ResetStats() { b.stats = Stats{} }
+
+// Channel returns channel i.
+func (b *Board) Channel(i int) *Channel {
+	if i < 0 || i >= NumChannels {
+		panic(fmt.Sprintf("board: channel %d out of range", i))
+	}
+	return b.chans[i]
+}
+
+// KernelChannel returns channel 0.
+func (b *Board) KernelChannel() *Channel { return b.chans[0] }
+
+// AttachTxLinks connects the transmit side to physical links; cell i of
+// each PDU is transmitted on link i mod width, so the receiver's
+// per-link reassembly arithmetic holds even when PDUs from different
+// channels interleave.
+func (b *Board) AttachTxLinks(links []*atm.Link) {
+	if len(links) != b.cfg.StripeWidth {
+		panic("board: link count != stripe width")
+	}
+	b.outLinks = links
+}
+
+// SetTxSink installs a callback that absorbs transmitted cells when no
+// links are attached — used to isolate the transmit side (Figure 4) and
+// by unit tests. It runs in the DMA engine's proc context.
+func (b *Board) SetTxSink(fn func(c atm.Cell, link int)) { b.txSink = fn }
+
+// InjectCell delivers a cell directly into the receive FIFO, as if it
+// had arrived on the given link — the unit-test backdoor.
+func (b *Board) InjectCell(c atm.Cell, link int) bool {
+	if !b.rxFIFO.TrySend(rxCell{c: c, link: link}) {
+		b.stats.CellsDroppedFIFO++
+		return false
+	}
+	return true
+}
+
+// AttachRxLinks subscribes the receive side to a stripe group's
+// deliveries. Cells arriving while the on-board FIFO is full are
+// dropped (§2.5.1's "inadequate reassembly space" concern).
+func (b *Board) AttachRxLinks(g *atm.StripeGroup) {
+	g.SetReceiver(func(c atm.Cell, link int) {
+		if !b.rxFIFO.TrySend(rxCell{c: c, link: link}) {
+			b.stats.CellsDroppedFIFO++
+			if b.eng.Tracing() {
+				b.eng.Tracef("drop: %s rx FIFO overflow vci=%d", b.cfg.Name, c.VCI)
+			}
+		}
+	})
+}
+
+// OpenChannel marks channel i usable, sets its priority, and restricts
+// the physical frames its descriptors may reference (nil = unrestricted,
+// kernel use only). This is control-plane work done by the OS at
+// connection setup (§3.2).
+func (b *Board) OpenChannel(i, priority int, allowed []mem.Frame) *Channel {
+	ch := b.Channel(i)
+	ch.open = true
+	ch.Priority = priority
+	if allowed == nil {
+		ch.allowed = nil
+	} else {
+		ch.allowed = make(map[mem.Frame]bool, len(allowed))
+		for _, f := range allowed {
+			ch.allowed[f] = true
+		}
+	}
+	return ch
+}
+
+// AllowFrames adds frames to an open channel's authorized set.
+func (b *Board) AllowFrames(i int, frames []mem.Frame) {
+	ch := b.Channel(i)
+	if ch.allowed == nil {
+		ch.allowed = make(map[mem.Frame]bool, len(frames))
+	}
+	for _, f := range frames {
+		ch.allowed[f] = true
+	}
+}
+
+// BindVCI routes incoming cells with the given VCI to channel i — the
+// early demultiplexing decision (§3.1). It also makes the VCI usable for
+// transmit on that channel.
+func (b *Board) BindVCI(v atm.VCI, i int) {
+	b.vciMap[v] = b.Channel(i)
+}
+
+// UnbindVCI removes a VCI route.
+func (b *Board) UnbindVCI(v atm.VCI) { delete(b.vciMap, v) }
+
+// KickTx tells the transmit processor that new descriptors may be
+// queued. The real processor discovers this by polling the head
+// pointer; the kick plus PollDelay models that discovery without the
+// simulation having to burn events on an idle poll loop.
+func (b *Board) KickTx() { b.txWork.Broadcast() }
+
+// KickFree wakes a fictitious-mode generator waiting for free buffers
+// (the real receive processor polls).
+func (b *Board) KickFree() { b.txWork.Broadcast() }
+
+func (b *Board) authorized(ch *Channel, d queue.Desc) bool {
+	if ch.allowed == nil {
+		return true
+	}
+	m := b.host.Mem
+	first := m.FrameOf(d.Addr)
+	last := m.FrameOf(d.Addr + mem.PhysAddr(d.Len) - 1)
+	for f := first; f <= last; f++ {
+		if !ch.allowed[f] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Board) violation(ch *Channel) {
+	b.stats.Violations++
+	if b.eng.Tracing() {
+		b.eng.Tracef("drop: %s authorization violation ch%d", b.cfg.Name, ch.Index)
+	}
+	b.irq(VioIRQBase + ch.Index)
+}
+
+// pushRecvDesc queues a filled-buffer descriptor on a channel's receive
+// ring and asserts the receive interrupt only when the ring was empty
+// before the push — the §2.1.2 discipline that keeps interrupts well
+// below one per PDU for bursts. Runs in the rx DMA engine's context so
+// the descriptor never becomes visible before its data.
+func (b *Board) pushRecvDesc(p *sim.Proc, ch *Channel, d queue.Desc) {
+	// Refresh the tail so emptiness is judged against the host's actual
+	// consumption, then push; interrupt only on the empty→non-empty
+	// transition (or unconditionally under the traditional ablation).
+	ch.RecvRing.ObserveTail(p, dpm.Board)
+	wasEmpty := ch.RecvRing.WriterLen() == 0
+	for !ch.RecvRing.TryPush(p, dpm.Board, d) {
+		// Host is far behind; wait for it to drain.
+		p.Sleep(2 * time.Microsecond)
+	}
+	if b.cfg.InterruptPerPDU || wasEmpty {
+		b.stats.RxIRQs++
+		if b.eng.Tracing() {
+			b.eng.Tracef("irq: %s rx ch%d", b.cfg.Name, ch.Index)
+		}
+		b.irq(RxIRQBase + ch.Index)
+	}
+}

@@ -1,0 +1,4 @@
+package board
+
+// SetDebugDrops toggles drop diagnostics (test aid).
+func SetDebugDrops(v bool) { debugDrops = v }

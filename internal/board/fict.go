@@ -1,0 +1,80 @@
+package board
+
+import (
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+// fictReq controls the fictitious-PDU generator.
+type fictReq struct {
+	stop     bool
+	vci      atm.VCI
+	pdus     [][]byte
+	interval time.Duration
+	count    int // 0 = until stopped
+}
+
+// DefaultFictInterval paces fictitious cells at the aggregate payload
+// rate of the striped 622 Mbps channel, so the receive-side isolation
+// experiment is bounded by the link speed exactly as the paper's was.
+const DefaultFictInterval = 684 * time.Nanosecond
+
+// StartFictitious programs the receive processor's generator mode used
+// for the Figure 2/3 experiments: "the receiver processor of the OSIRIS
+// board was programmed to generate fictitious PDUs as fast as the
+// receiving host could absorb them" (§4). The given PDU sequence (e.g.
+// the pre-built IP fragments of one UDP message) is segmented and fed
+// through the normal reassembly/DMA path, one cell per interval (0
+// means DefaultFictInterval; a negative interval runs unpaced). count
+// bounds the number of sequence repetitions (0 = until StopFictitious).
+//
+// The VCI must already be bound to a channel.
+func (b *Board) StartFictitious(vci atm.VCI, pdus [][]byte, interval time.Duration, count int) {
+	copied := make([][]byte, len(pdus))
+	for i, p := range pdus {
+		copied[i] = append([]byte(nil), p...)
+	}
+	req := fictReq{vci: vci, pdus: copied, interval: interval, count: count}
+	if !b.fireCtl.TrySend(req) {
+		panic("board: fictitious generator busy")
+	}
+}
+
+// StopFictitious halts the generator after the sequence in progress.
+func (b *Board) StopFictitious() {
+	b.fireCtl.TrySend(fictReq{stop: true})
+}
+
+// fictProc runs the generator. It shares the receive FIFO with the link
+// path, so generated cells exercise exactly the reassembly, DMA, and
+// interrupt machinery that real traffic does.
+func (b *Board) fictProc(p *sim.Proc) {
+	for {
+		req := b.fireCtl.Recv(p)
+		if req.stop {
+			continue
+		}
+		interval := req.interval
+		if interval == 0 {
+			interval = DefaultFictInterval
+		}
+		sent := 0
+		for req.count == 0 || sent < req.count {
+			if r, ok := b.fireCtl.TryRecv(); ok && r.stop {
+				break
+			}
+			for _, pdu := range req.pdus {
+				cells := atm.Segment(req.vci, pdu, b.cfg.StripeWidth, b.cfg.Strategy.UsesSeqNumbers())
+				for i := range cells {
+					b.rxFIFO.Send(p, rxCell{c: cells[i], link: i % b.cfg.StripeWidth})
+					if interval > 0 {
+						p.Sleep(interval)
+					}
+				}
+			}
+			sent++
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package board
+
+import (
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/dpm"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// rxCmd is one DMA-write transaction for the receive DMA controller,
+// optionally carrying descriptor pushes to publish once the data is in
+// host memory (so a descriptor never becomes visible before its bytes).
+type rxCmd struct {
+	ch       *Channel
+	segs     []mem.PhysBuffer
+	data     []byte
+	combined bool // an 88-byte double-cell transfer
+	pushes   []queue.Desc
+}
+
+// combinePeekCost prices the receive processor's look at the second cell
+// header when deciding on a double-cell DMA (§2.5.1).
+const combinePeekCost = 150 * time.Nanosecond
+
+var debugDrops = false
+
+// rxProc is the receive on-board processor: it drains the cell FIFO,
+// demultiplexes by VCI (the early demultiplexing decision fbufs and ADCs
+// rely on, §3.1), runs the skew-tolerant reassembly, and issues commands
+// to the receive DMA controller — combining contiguous payload pairs
+// into double-cell DMAs when so configured.
+func (b *Board) rxProc(p *sim.Proc) {
+	for {
+		rc := b.rxFIFO.Recv(p)
+		b.stats.CellsRx++
+		p.Sleep(b.cfg.CellOverheadRx)
+		b.handleCell(p, rc)
+	}
+}
+
+func (b *Board) getReasm(ch *Channel, vci atm.VCI) *reasmState {
+	rs := ch.reasm[vci]
+	if rs == nil {
+		rs = newReasmState(ch, vci, b.cfg.StripeWidth)
+		ch.reasm[vci] = rs
+	}
+	return rs
+}
+
+// popFree takes the next receive buffer for ch: internally recycled
+// scratch first, then the host-supplied free ring, validating ADC frame
+// authorization (§3.2).
+func (b *Board) popFree(p *sim.Proc, ch *Channel) (queue.Desc, bool) {
+	for {
+		if n := len(ch.stash); n > 0 {
+			d := ch.stash[n-1]
+			ch.stash = ch.stash[:n-1]
+			return d, true
+		}
+		d, ok := ch.FreeRing.TryPop(p, dpm.Board)
+		if !ok {
+			return queue.Desc{}, false
+		}
+		if d.Len == 0 {
+			// A zero-length buffer can never make reassembly progress;
+			// discard it (firmware sanity check).
+			continue
+		}
+		if !b.authorized(ch, d) {
+			b.violation(ch)
+			continue // discard the illegal buffer, try the next
+		}
+		return d, true
+	}
+}
+
+func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
+	ch := b.vciMap[rc.c.VCI]
+	if ch == nil || !ch.open {
+		b.stats.CellsNoVCI++
+		return
+	}
+	rs := b.getReasm(ch, rc.c.VCI)
+
+	off, dataLen, complete, ok := rs.ingest(b.cfg.Strategy, rc, b.cfg.StripeWidth)
+	if !ok {
+		// Placement failure (e.g. partial cell under a placement
+		// strategy): abandon the PDU.
+		rs.dropping = true
+		if rc.c.Last || rs.lastSeen {
+			b.finishRxPDU(p, ch, rs, false)
+		}
+		return
+	}
+
+	data := make([]byte, 0, 2*atm.CellPayload)
+	data = append(data, rc.c.Payload[:dataLen]...)
+	n := dataLen
+	combined := false
+
+	// Double-cell combining: look at the next cell header; if its
+	// payload lands immediately after this one, issue a single longer
+	// DMA (§2.5.1). Skew makes this opportunity rare (§2.6).
+	if b.cfg.RxDMA == DoubleCell && !complete && dataLen == atm.CellPayload && !rs.dropping {
+		if next, okPeek := b.rxFIFO.Peek(); okPeek && next.c.VCI == rc.c.VCI && !next.c.Last {
+			if noff, okp := rs.wouldPlaceAt(b.cfg.Strategy, next, b.cfg.StripeWidth); okp && noff == off+dataLen {
+				b.rxFIFO.TryRecv()
+				b.stats.CellsRx++
+				p.Sleep(combinePeekCost)
+				_, dl2, c2, ok2 := rs.ingest(b.cfg.Strategy, next, b.cfg.StripeWidth)
+				if ok2 {
+					data = append(data, next.c.Payload[:dl2]...)
+					n += dl2
+					complete = c2
+					combined = true
+				}
+			}
+		}
+	}
+
+	if rs.dropping {
+		if complete {
+			b.finishRxPDU(p, ch, rs, false)
+		}
+		return
+	}
+
+	if !complete && b.cfg.Strategy != ArrivalOrder && rs.errorDetected(b.cfg.StripeWidth) {
+		// Cells were lost in the network: discard the PDU (AAL5-style).
+		b.finishRxPDU(p, ch, rs, false)
+		return
+	}
+
+	segs, haveBufs := rs.extent(off, n, func() (queue.Desc, bool) { return b.popFree(p, ch) })
+	if !haveBufs {
+		if debugDrops {
+			println("DROP at", int64(p.Now()), "vci", int(rc.c.VCI), "off", off, "stash", len(ch.stash))
+		}
+		// Out of receive buffers: the board drops the PDU before it
+		// consumes any host resources — under overload this is what
+		// sheds low-priority traffic early (§3.1).
+		rs.dropping = true
+		if complete {
+			b.finishRxPDU(p, ch, rs, false)
+		}
+		return
+	}
+
+	cmd := rxCmd{ch: ch, segs: segs, data: data, combined: combined}
+	if complete && b.eng.Tracing() {
+		b.eng.Tracef("pdu: %s rx complete vci=%d len=%d", b.cfg.Name, rc.c.VCI, rs.pduLen)
+	}
+	if complete {
+		b.ensureEOPBuffer(p, ch, rs)
+		pushes, scratch := rs.duePushes(true)
+		ch.stash = append(ch.stash, scratch...)
+		b.stats.ScratchRecycled += int64(len(scratch))
+		cmd.pushes = pushes
+		b.stats.PDUsRx++
+		delete(ch.reasm, rc.c.VCI)
+	} else {
+		pushes, _ := rs.duePushes(false)
+		cmd.pushes = pushes
+	}
+	b.rxCmds.Send(p, cmd)
+}
+
+// ensureEOPBuffer guarantees a completed PDU has at least one buffer to
+// carry its EOP descriptor (zero-length PDUs otherwise allocate none).
+func (b *Board) ensureEOPBuffer(p *sim.Proc, ch *Channel, rs *reasmState) {
+	if len(rs.bufs) > 0 {
+		return
+	}
+	if d, ok := b.popFree(p, ch); ok {
+		rs.bufs = append(rs.bufs, rxBuf{desc: d, base: 0})
+		rs.covered += int(d.Len)
+	}
+}
+
+// finishRxPDU retires an abandoned reassembly, recycling its buffers.
+func (b *Board) finishRxPDU(_ *sim.Proc, ch *Channel, rs *reasmState, delivered bool) {
+	scratch := rs.abort()
+	ch.stash = append(ch.stash, scratch...)
+	b.stats.ScratchRecycled += int64(len(scratch))
+	if !delivered {
+		b.stats.PDUsDropped++
+		if b.eng.Tracing() {
+			b.eng.Tracef("drop: %s PDU abandoned vci=%d received=%d", b.cfg.Name, rs.vci, rs.received)
+		}
+	}
+	delete(ch.reasm, rs.vci)
+}
+
+// rxDMAEngine is the receive DMA controller: one bus write transaction
+// per command segment, then the memory/cache effect, then any descriptor
+// publication that was gated on this data.
+func (b *Board) rxDMAEngine(p *sim.Proc) {
+	for {
+		cmd := b.rxCmds.Recv(p)
+		pos := 0
+		for _, seg := range cmd.segs {
+			b.host.Bus.DMAWrite(p, seg.Len)
+			b.host.Cache.DMAWrite(seg.Addr, cmd.data[pos:pos+seg.Len])
+			pos += seg.Len
+		}
+		if len(cmd.segs) == 1 && cmd.combined {
+			b.stats.CombinedDMAs++
+		} else {
+			b.stats.SingleDMAs += int64(len(cmd.segs))
+		}
+		for _, d := range cmd.pushes {
+			b.pushRecvDesc(p, cmd.ch, d)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+)
+
+// TestCalibrationReport prints the simulated Table 1 and figure
+// endpoints next to the paper's values. Run with -v (and
+// CALIBRATE=1 for the full sweep) while tuning profile constants.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("CALIBRATE") == "" {
+		t.Skip("set CALIBRATE=1 to print the calibration report")
+	}
+	type target struct {
+		label string
+		want  float64
+		got   float64
+	}
+	var rows []target
+
+	latency := func(profName string, prof hostsim.Profile, dcfg driver.Config, kind ProtoKind, size int, want float64) {
+		tb := NewTestbed(Options{Profile: prof, Driver: dcfg})
+		defer tb.Shutdown()
+		rtt, err := tb.RunLatency(kind, size, 3)
+		if err != nil {
+			t.Errorf("%s %v %d: %v", profName, kind, size, err)
+			return
+		}
+		rows = append(rows, target{
+			label: fmt.Sprintf("T1 %s %-6v %5dB RTT µs", profName, kind, size),
+			want:  want,
+			got:   rtt.Seconds() * 1e6,
+		})
+	}
+
+	ds := hostsim.DEC5000_200()
+	al := hostsim.DEC3000_600()
+	dsCfg := driver.Config{Cache: driver.CacheLazy}
+	alCfg := driver.Config{Cache: driver.CacheNone}
+
+	for _, c := range []struct {
+		kind ProtoKind
+		size int
+		want float64
+	}{
+		{ATMRaw, 1, 353}, {ATMRaw, 1024, 417}, {ATMRaw, 2048, 486}, {ATMRaw, 4096, 778},
+		{UDPIP, 1, 598}, {UDPIP, 1024, 659}, {UDPIP, 2048, 725}, {UDPIP, 4096, 1011},
+	} {
+		latency("5000/200", ds, dsCfg, c.kind, c.size, c.want)
+	}
+	for _, c := range []struct {
+		kind ProtoKind
+		size int
+		want float64
+	}{
+		{ATMRaw, 1, 154}, {ATMRaw, 1024, 215}, {ATMRaw, 2048, 283}, {ATMRaw, 4096, 449},
+		{UDPIP, 1, 316}, {UDPIP, 1024, 376}, {UDPIP, 2048, 446}, {UDPIP, 4096, 619},
+	} {
+		latency("3000/600", al, alCfg, c.kind, c.size, c.want)
+	}
+
+	rx := func(name string, prof hostsim.Profile, bcfg Options, size int, want float64) {
+		bcfg.Profile = prof
+		tb := NewTestbed(bcfg)
+		defer tb.Shutdown()
+		mbps, err := tb.RunReceiveThroughput(size, 12)
+		if err != nil {
+			t.Errorf("rx %s %d: %v", name, size, err)
+			return
+		}
+		rows = append(rows, target{label: fmt.Sprintf("RX %s %6dB Mbps", name, size), want: want, got: mbps})
+	}
+	// Figure 2 (5000/200) endpoints at 64KB+.
+	rx("DS dbl", ds, Options{Driver: dsCfg, Board: boardDouble()}, 65536, 379)
+	rx("DS sgl", ds, Options{Driver: dsCfg}, 65536, 340)
+	rx("DS sgl+inval", ds, Options{Driver: driver.Config{Cache: driver.CacheEager}}, 65536, 250)
+	rx("DS sgl 1KB", ds, Options{Driver: dsCfg}, 1024, 60)
+	// Figure 3 (3000/600).
+	rx("AL dbl", al, Options{Driver: alCfg, Board: boardDouble()}, 65536, 510)
+	rx("AL dbl+cs", al, Options{Driver: alCfg, Board: boardDouble(), Checksum: true}, 65536, 438)
+	rx("AL sgl", al, Options{Driver: alCfg}, 65536, 460)
+	rx("AL dbl 1KB", al, Options{Driver: alCfg, Board: boardDouble()}, 1024, 100)
+
+	tx := func(name string, prof hostsim.Profile, dcfg driver.Config, cs bool, size int, want float64) {
+		tb := NewTestbed(Options{Profile: prof, Driver: dcfg, Checksum: cs, TxIsolated: true})
+		defer tb.Shutdown()
+		mbps, err := tb.RunTransmitThroughput(size, 12)
+		if err != nil {
+			t.Errorf("tx %s %d: %v", name, size, err)
+			return
+		}
+		rows = append(rows, target{label: fmt.Sprintf("TX %s %6dB Mbps", name, size), want: want, got: mbps})
+	}
+	// Figure 4 endpoints.
+	tx("AL", al, alCfg, false, 65536, 340)
+	tx("AL+cs", al, alCfg, true, 65536, 320)
+	tx("DS", ds, dsCfg, false, 65536, 300)
+	tx("DS 1KB", ds, dsCfg, false, 1024, 60)
+
+	fmt.Printf("%-32s %10s %10s %8s\n", "experiment", "paper", "sim", "ratio")
+	for _, r := range rows {
+		ratio := r.got / r.want
+		fmt.Printf("%-32s %10.1f %10.1f %8.2f\n", r.label, r.want, r.got, ratio)
+	}
+}
+
+func boardDouble() board.Config { return board.Config{RxDMA: board.DoubleCell} }

@@ -1,0 +1,391 @@
+// Package core assembles the full system — two simulated hosts with
+// OSIRIS boards linked back to back by four striped 155 Mbps links —
+// and provides the experiment drivers that regenerate the paper's
+// evaluation (§4): round-trip latency (Table 1), receive-side
+// throughput with the board's fictitious-PDU generator (Figures 2 and
+// 3), and transmit-side throughput in isolation (Figure 4).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xkernel"
+)
+
+// ProtoKind selects the protocol configuration of Table 1.
+type ProtoKind int
+
+const (
+	// ATMRaw runs test programs directly on the OSIRIS driver.
+	ATMRaw ProtoKind = iota
+	// UDPIP runs them on the UDP/IP stack (checksum off, per Table 1).
+	UDPIP
+)
+
+func (k ProtoKind) String() string {
+	if k == ATMRaw {
+		return "ATM"
+	}
+	return "UDP/IP"
+}
+
+// Options configures a testbed.
+type Options struct {
+	// Profile is the machine model for both hosts (default DEC5000/200).
+	Profile hostsim.Profile
+	// Board configures both boards' firmware policies.
+	Board board.Config
+	// Driver configures both hosts' drivers.
+	Driver driver.Config
+	// MTU is the IP maximum transfer unit (default 16 KB, §4).
+	MTU int
+	// Checksum enables the UDP data checksum (the "UDP-CS" curves).
+	Checksum bool
+	// Link configures the physical links (skew models etc.).
+	Link atm.LinkConfig
+	// TxIsolated omits the links entirely and attaches a counting sink
+	// to host A's board — the Figure 4 transmit-side isolation.
+	TxIsolated bool
+	// MemPages sizes each host's physical memory (default 4096 pages).
+	MemPages int
+	// Seed seeds the simulation's deterministic randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profile.Name == "" {
+		o.Profile = hostsim.DEC5000_200()
+	}
+	if o.MTU == 0 {
+		o.MTU = 16 * 1024
+	}
+	if o.MemPages == 0 {
+		o.MemPages = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x0514
+	}
+	return o
+}
+
+// Node is one host with its board, driver, and protocol graph.
+type Node struct {
+	Host  *hostsim.Host
+	Board *board.Board
+	Drv   *driver.Driver
+	IP    *proto.IP
+	UDP   *proto.UDP
+	RDP   *proto.RDP
+	Raw   *proto.Raw
+	Graph *xkernel.Graph
+}
+
+// Testbed is the two-host apparatus of §4.
+type Testbed struct {
+	Eng    *sim.Engine
+	Opt    Options
+	A, B   *Node
+	sink   *txSink // present in TxIsolated mode
+	nextID int
+}
+
+// txSink counts cells absorbed from an isolated transmitter.
+type txSink struct {
+	bytes int64
+	cells int64
+	first sim.Time
+	last  sim.Time
+}
+
+// NewTestbed builds the apparatus.
+func NewTestbed(opt Options) *Testbed {
+	opt = opt.withDefaults()
+	e := sim.NewEngine(opt.Seed)
+	tb := &Testbed{Eng: e, Opt: opt}
+
+	buildNode := func(name string, addr proto.HostAddr) *Node {
+		h := hostsim.New(e, opt.Profile, opt.MemPages)
+		bcfg := opt.Board
+		bcfg.Name = name
+		b := board.New(e, h, bcfg)
+		d := driver.New(e, h, b, opt.Driver)
+		n := &Node{Host: h, Board: b, Drv: d}
+		n.IP = proto.NewIP(h, d, addr, opt.MTU)
+		n.UDP = proto.NewUDP(h, n.IP)
+		n.RDP = proto.NewRDP(h, n.IP)
+		n.Raw = proto.NewRaw(h, d)
+		n.Graph = xkernel.NewGraph(name + "-kernel")
+		n.Graph.Register(n.IP)
+		n.Graph.Register(n.UDP)
+		n.Graph.Register(n.RDP)
+		n.Graph.Register(n.Raw)
+		return n
+	}
+	tb.A = buildNode("A", 1)
+	tb.B = buildNode("B", 2)
+
+	if opt.TxIsolated {
+		tb.sink = &txSink{}
+		tb.A.Board.SetTxSink(func(c atm.Cell, _ int) {
+			if tb.sink.cells == 0 {
+				tb.sink.first = e.Now()
+			}
+			tb.sink.cells++
+			tb.sink.bytes += int64(c.Len)
+			tb.sink.last = e.Now()
+		})
+		return tb
+	}
+
+	wire := func(from, to *Node) {
+		g := atm.NewStripeGroup(e, atm.StripeWidth, opt.Link)
+		links := make([]*atm.Link, g.Width())
+		for i := range links {
+			links[i] = g.Link(i)
+		}
+		from.Board.AttachTxLinks(links)
+		to.Board.AttachRxLinks(g)
+	}
+	wire(tb.A, tb.B)
+	wire(tb.B, tb.A)
+	return tb
+}
+
+// vci hands out fresh VCIs — "a fairly abundant resource" (§3.1).
+func (tb *Testbed) vci() atm.VCI {
+	tb.nextID++
+	return atm.VCI(100 + tb.nextID)
+}
+
+// openPair opens matching sessions on A and B for the given protocol.
+func (tb *Testbed) openPair(kind ProtoKind) (a, b xkernel.Session, err error) {
+	v := tb.vci()
+	switch kind {
+	case ATMRaw:
+		if a, err = tb.A.Raw.Open(proto.RawOpen{VCI: v}); err != nil {
+			return nil, nil, err
+		}
+		b, err = tb.B.Raw.Open(proto.RawOpen{VCI: v})
+	default:
+		if a, err = tb.A.UDP.Open(proto.UDPOpen{Remote: 2, VCI: v, SrcPort: 1, DstPort: 2, Checksum: tb.Opt.Checksum}); err != nil {
+			return nil, nil, err
+		}
+		b, err = tb.B.UDP.Open(proto.UDPOpen{Remote: 1, VCI: v, SrcPort: 2, DstPort: 1, Checksum: tb.Opt.Checksum})
+	}
+	return a, b, err
+}
+
+// alloc builds a message of n pattern bytes in space, returning it with
+// a free function.
+func alloc(space *mem.AddressSpace, n int) (*msg.Message, func(), error) {
+	if n == 0 {
+		return msg.New(), func() {}, nil
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	m, err := msg.FromBytes(space, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := m.Fragments()[0]
+	return m, func() { f.Space.Free(f.VA, f.Len) }, nil
+}
+
+// RunLatency measures the average round-trip time for messages of the
+// given size, as in Table 1: a ping-pong between test programs linked
+// into the kernel, boards back to back. The first round is a warm-up
+// and is excluded.
+func (tb *Testbed) RunLatency(kind ProtoKind, msgSize, rounds int) (time.Duration, error) {
+	sa, sb, err := tb.openPair(kind)
+	if err != nil {
+		return 0, err
+	}
+	ra, rb, err := tb.openPair(kind) // reverse direction
+	if err != nil {
+		return 0, err
+	}
+	// B echoes every message back on the reverse session.
+	sb.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		data, err := m.Bytes()
+		if err != nil {
+			return
+		}
+		reply, freeReply, err := allocFrom(tb.B.Host.Kernel, data)
+		if err != nil {
+			return
+		}
+		if err := rb.Push(p, reply); err != nil {
+			freeReply()
+			return
+		}
+		tb.B.Drv.Flush(p)
+		freeReply()
+	})
+
+	var rtts []time.Duration
+	gotReply := sim.NewCond(tb.Eng)
+	replied := false
+	ra.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		replied = true
+		gotReply.Broadcast()
+	})
+	done := false
+	tb.Eng.Go("latency-experiment", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			m, free, err := alloc(tb.A.Host.Kernel, msgSize)
+			if err != nil {
+				return
+			}
+			replied = false
+			start := p.Now()
+			if err := sa.Push(p, m); err != nil {
+				free()
+				return
+			}
+			for !replied {
+				gotReply.Wait(p)
+			}
+			if i > 0 { // skip warm-up
+				rtts = append(rtts, time.Duration(p.Now()-start))
+			}
+			tb.A.Drv.Flush(p)
+			free()
+		}
+		done = true
+	})
+	tb.Eng.Run()
+	if !done || len(rtts) == 0 {
+		return 0, fmt.Errorf("core: latency experiment did not complete (%d/%d rounds)", len(rtts), rounds)
+	}
+	var total time.Duration
+	for _, r := range rtts {
+		total += r
+	}
+	return total / time.Duration(len(rtts)), nil
+}
+
+// allocFrom is alloc with caller-provided contents.
+func allocFrom(space *mem.AddressSpace, data []byte) (*msg.Message, func(), error) {
+	m, err := msg.FromBytes(space, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return m, func() {}, nil
+	}
+	f := m.Fragments()[0]
+	return m, func() { f.Space.Free(f.VA, f.Len) }, nil
+}
+
+// RunReceiveThroughput reproduces the Figure 2/3 apparatus: host B's
+// board generates fictitious UDP/IP traffic of the given message size
+// (cells paced at the 622 Mbps channel's payload rate), and the
+// measured quantity is the rate at which B's stack delivers message
+// payload to the test program. count messages are generated; the first
+// is warm-up.
+func (tb *Testbed) RunReceiveThroughput(msgSize, count int) (float64, error) {
+	v := tb.vci()
+	sess, err := tb.B.UDP.Open(proto.UDPOpen{Remote: 1, VCI: v, SrcPort: 2, DstPort: 1, Checksum: tb.Opt.Checksum})
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, msgSize)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	// Build the whole run's traffic with distinct IP idents so a dropped
+	// fragment under overload cannot corrupt a later message's
+	// reassembly.
+	var frags [][]byte
+	for i := 0; i < count; i++ {
+		frags = append(frags, proto.BuildUDPFragments(payload, 1, 2, 1, 2, tb.Opt.MTU, tb.Opt.Checksum, uint32(1000+i))...)
+	}
+
+	received := 0
+	var firstDone, lastDone sim.Time
+	sess.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		if m.Len() != msgSize {
+			return
+		}
+		received++
+		if received == 1 {
+			firstDone = p.Now()
+		}
+		lastDone = p.Now()
+	})
+	tb.B.Board.StartFictitious(v, frags, 0, 1)
+	// Generous horizon: the slowest plausible rate is ~20 Mbps.
+	horizon := tb.Eng.Now().Add(time.Duration(count) * (time.Duration(msgSize)*8*50*time.Nanosecond + 10*time.Millisecond))
+	tb.Eng.RunUntil(horizon)
+	tb.B.Board.StopFictitious()
+	tb.Eng.Run()
+	if received < 2 {
+		return 0, fmt.Errorf("core: receive experiment delivered %d/%d messages", received, count)
+	}
+	return stats.Mbps(int64(received-1)*int64(msgSize), time.Duration(lastDone-firstDone)), nil
+}
+
+// RunTransmitThroughput reproduces the Figure 4 apparatus: host A's
+// transmit path in isolation (the board's cells are absorbed by a sink),
+// sending count messages of the given size through the UDP/IP stack.
+// The rate is message payload over the time from first to last cell out.
+func (tb *Testbed) RunTransmitThroughput(msgSize, count int) (float64, error) {
+	if tb.sink == nil {
+		return 0, fmt.Errorf("core: testbed not built with TxIsolated")
+	}
+	v := tb.vci()
+	sess, err := tb.A.UDP.Open(proto.UDPOpen{Remote: 2, VCI: v, SrcPort: 1, DstPort: 2, Checksum: tb.Opt.Checksum})
+	if err != nil {
+		return 0, err
+	}
+	done := false
+	tb.Eng.Go("tx-experiment", func(p *sim.Proc) {
+		// Queue back-to-back so the transmit path pipelines; buffers are
+		// freed only after the final flush.
+		var frees []func()
+		for i := 0; i < count; i++ {
+			m, free, err := alloc(tb.A.Host.Kernel, msgSize)
+			if err != nil {
+				return
+			}
+			frees = append(frees, free)
+			if err := sess.Push(p, m); err != nil {
+				return
+			}
+		}
+		tb.A.Drv.Flush(p)
+		for _, free := range frees {
+			free()
+		}
+		done = true
+	})
+	tb.Eng.Run()
+	if !done || tb.sink.cells == 0 {
+		return 0, fmt.Errorf("core: transmit experiment did not complete")
+	}
+	elapsed := time.Duration(tb.sink.last - tb.sink.first)
+	return stats.Mbps(int64(count)*int64(msgSize), elapsed), nil
+}
+
+// SinkStats exposes the isolated transmitter's sink counters.
+func (tb *Testbed) SinkStats() (cells, bytes int64) {
+	if tb.sink == nil {
+		return 0, 0
+	}
+	return tb.sink.cells, tb.sink.bytes
+}
+
+// Shutdown tears the simulation down.
+func (tb *Testbed) Shutdown() { tb.Eng.Shutdown() }

@@ -1,0 +1,175 @@
+// Package dpm models the OSIRIS board's 128 KB dual-port memory.
+//
+// From the host's perspective the adaptor looks like a 128 KB region of
+// memory reached across the TURBOchannel, so every host access is priced
+// as programmed I/O on the bus — the reason the paper's §2.1 goals
+// include "minimizing the number of load and store operations required
+// to communicate". On-board processor accesses are local and cheap.
+//
+// The memory guarantees atomicity of individual 32-bit loads and stores
+// only; each half of the board additionally provides a test-and-set
+// register usable as a spin lock (§2.1.1). The transmit half is divided
+// into sixteen 4 KB pages, each holding a separate transmit queue, and
+// the receive half likewise (one free-buffer/receive queue pair per
+// page) — the partitioning application device channels rely on (§3.2).
+package dpm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+const (
+	// Size is the total dual-port memory size.
+	Size = 128 * 1024
+	// HalfSize is the size of each of the transmit and receive halves.
+	HalfSize = Size / 2
+	// PageSize is the size of one queue page.
+	PageSize = 4096
+	// PagesPerHalf is the number of queue pages in each half.
+	PagesPerHalf = HalfSize / PageSize
+	// BoardAccessTime prices one on-board processor access to the
+	// dual-port memory.
+	BoardAccessTime = 40 * time.Nanosecond
+)
+
+// Accessor identifies which side of the dual-port memory is accessing
+// it, which determines the access cost.
+type Accessor int
+
+const (
+	// Host accesses cross the TURBOchannel (expensive PIO).
+	Host Accessor = iota
+	// Board accesses are local to the adaptor.
+	Board
+)
+
+func (a Accessor) String() string {
+	if a == Host {
+		return "host"
+	}
+	return "board"
+}
+
+// Register identifies one of the two test-and-set registers.
+type Register int
+
+const (
+	// SendLock is the transmit half's test-and-set register.
+	SendLock Register = iota
+	// RecvLock is the receive half's test-and-set register.
+	RecvLock
+)
+
+// Stats counts dual-port memory accesses by side.
+type Stats struct {
+	HostReads   int64
+	HostWrites  int64
+	BoardReads  int64
+	BoardWrites int64
+}
+
+// Memory is one board's dual-port memory.
+type Memory struct {
+	eng   *sim.Engine
+	bus   *bus.Bus
+	data  []byte
+	locks [2]bool
+	stats Stats
+}
+
+// New returns a dual-port memory whose host-side accesses are priced on b.
+func New(e *sim.Engine, b *bus.Bus) *Memory {
+	return &Memory{eng: e, bus: b, data: make([]byte, Size)}
+}
+
+// TxPageOff returns the offset of transmit queue page i.
+func TxPageOff(i int) uint32 {
+	if i < 0 || i >= PagesPerHalf {
+		panic(fmt.Sprintf("dpm: tx page %d out of range", i))
+	}
+	return uint32(i * PageSize)
+}
+
+// RxPageOff returns the offset of receive queue page i.
+func RxPageOff(i int) uint32 {
+	if i < 0 || i >= PagesPerHalf {
+		panic(fmt.Sprintf("dpm: rx page %d out of range", i))
+	}
+	return uint32(HalfSize + i*PageSize)
+}
+
+func (m *Memory) charge(p *sim.Proc, who Accessor, write bool) {
+	switch who {
+	case Host:
+		if write {
+			m.stats.HostWrites++
+			m.bus.PIOWrite(p, 1)
+		} else {
+			m.stats.HostReads++
+			m.bus.PIORead(p, 1)
+		}
+	case Board:
+		if write {
+			m.stats.BoardWrites++
+		} else {
+			m.stats.BoardReads++
+		}
+		p.Sleep(BoardAccessTime)
+	}
+}
+
+func (m *Memory) checkWord(off uint32) {
+	if off%4 != 0 {
+		panic(fmt.Sprintf("dpm: unaligned word access at %#x", off))
+	}
+	if int(off)+4 > len(m.data) {
+		panic(fmt.Sprintf("dpm: access at %#x beyond %d", off, len(m.data)))
+	}
+}
+
+// ReadWord performs an atomic 32-bit load at byte offset off, charging
+// the accessor's cost to p.
+func (m *Memory) ReadWord(p *sim.Proc, who Accessor, off uint32) uint32 {
+	m.checkWord(off)
+	m.charge(p, who, false)
+	d := m.data[off : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+// WriteWord performs an atomic 32-bit store at byte offset off.
+func (m *Memory) WriteWord(p *sim.Proc, who Accessor, off uint32, v uint32) {
+	m.checkWord(off)
+	m.charge(p, who, true)
+	m.data[off] = byte(v)
+	m.data[off+1] = byte(v >> 8)
+	m.data[off+2] = byte(v >> 16)
+	m.data[off+3] = byte(v >> 24)
+}
+
+// TestAndSet atomically sets register r and returns its previous value.
+// A return of false means the caller acquired the lock.
+func (m *Memory) TestAndSet(p *sim.Proc, who Accessor, r Register) bool {
+	m.charge(p, who, true)
+	prev := m.locks[r]
+	m.locks[r] = true
+	return prev
+}
+
+// ClearLock releases register r.
+func (m *Memory) ClearLock(p *sim.Proc, who Accessor, r Register) {
+	m.charge(p, who, true)
+	m.locks[r] = false
+}
+
+// LockHeld reports whether register r is currently set (for tests).
+func (m *Memory) LockHeld(r Register) bool { return m.locks[r] }
+
+// Stats returns a copy of the access counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the access counters.
+func (m *Memory) ResetStats() { m.stats = Stats{} }

@@ -1,0 +1,162 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/hostsim"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+func TestConcurrentSendersShareDriver(t *testing.T) {
+	// Several host threads sending through one driver concurrently: the
+	// driver's internal serialization must keep the (strictly 1R1W)
+	// rings coherent, and every message must arrive intact.
+	pr := newPair(t, hostsim.DEC3000_600, board.Config{}, Config{Cache: CacheNone})
+	const senders = 4
+	const perSender = 6
+	type rx struct {
+		count int
+		ok    bool
+	}
+	results := make(map[byte]*rx)
+	for s := byte(0); s < senders; s++ {
+		results[s] = &rx{ok: true}
+	}
+	// One path per sender (one VCI per connection, §3.1).
+	for s := byte(0); s < senders; s++ {
+		seed := s
+		pr.dB.OpenPath(10+atm.VCI(seed), func(p *sim.Proc, m *msg.Message) {
+			b, _ := m.Bytes()
+			r := results[seed]
+			r.count++
+			if !bytes.Equal(b, pattern(2000, seed)) {
+				r.ok = false
+			}
+		})
+	}
+	for s := byte(0); s < senders; s++ {
+		seed := s
+		pt := pr.dA.OpenPath(10+atm.VCI(seed), nil)
+		pr.eng.Go("sender", func(p *sim.Proc) {
+			for i := 0; i < perSender; i++ {
+				m, err := msg.FromBytes(pr.hA.Kernel, pattern(2000, seed))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := pr.dA.Send(p, pt, m, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Sleep(time.Duration(seed+1) * 7 * time.Microsecond)
+			}
+			pr.dA.Flush(p)
+		})
+	}
+	pr.eng.Run()
+	pr.eng.Shutdown()
+	for s := byte(0); s < senders; s++ {
+		r := results[s]
+		if r.count != perSender {
+			t.Errorf("sender %d: delivered %d/%d", s, r.count, perSender)
+		}
+		if !r.ok {
+			t.Errorf("sender %d: corruption", s)
+		}
+	}
+}
+
+func TestRetainOutsideHandlerPanics(t *testing.T) {
+	pr := newPair(t, hostsim.DEC3000_600, board.Config{}, Config{Cache: CacheNone})
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain outside a delivering handler did not panic")
+		}
+	}()
+	m := msg.New()
+	pr.dB.Retain(m)
+}
+
+func TestReleaseUnretainedPanics(t *testing.T) {
+	pr := newPair(t, hostsim.DEC3000_600, board.Config{}, Config{Cache: CacheNone})
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of unretained message did not panic")
+		}
+	}()
+	pr.dB.Release(nil, msg.New())
+}
+
+func TestRetainedBuffersSurviveNextDelivery(t *testing.T) {
+	// A retained message's bytes must remain intact while later PDUs are
+	// delivered, and the pool must recover after Release.
+	pr := newPair(t, hostsim.DEC3000_600, board.Config{}, Config{Cache: CacheNone, RxBufCount: 4, ReserveBufs: 2})
+	var retained *msg.Message
+	var want []byte
+	deliveries := 0
+	pr.dB.OpenPath(10, func(p *sim.Proc, m *msg.Message) {
+		deliveries++
+		if deliveries == 1 {
+			pr.dB.Retain(m)
+			retained = m
+			want, _ = m.Bytes()
+			return
+		}
+		if retained != nil {
+			got, _ := retained.Bytes()
+			if !bytes.Equal(got, want) {
+				t.Error("retained message mutated by later deliveries")
+			}
+			pr.dB.Release(p, retained)
+			retained = nil
+		}
+	})
+	ptA := pr.dA.OpenPath(10, nil)
+	pr.eng.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			m, _ := msg.FromBytes(pr.hA.Kernel, pattern(3000, byte(i)))
+			pr.dA.Send(p, ptA, m, nil)
+			pr.dA.Flush(p)
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	pr.eng.Run()
+	pr.eng.Shutdown()
+	if deliveries != 6 {
+		t.Errorf("deliveries = %d/6 (pool starved?)", deliveries)
+	}
+}
+
+func TestSlowWiringCostsMore(t *testing.T) {
+	run := func(slow bool) sim.Time {
+		pr := newPair(t, hostsim.DEC5000_200, board.Config{}, Config{Cache: CacheLazy, SlowWiring: slow})
+		done := false
+		pr.dB.OpenPath(10, func(p *sim.Proc, m *msg.Message) { done = true })
+		ptA := pr.dA.OpenPath(10, nil)
+		var sent sim.Time
+		pr.eng.Go("sender", func(p *sim.Proc) {
+			p.Sleep(5 * time.Millisecond) // init settles (wiring of rx pools differs too)
+			m, _ := msg.FromBytes(pr.hA.Kernel, pattern(4*4096, 1))
+			start := p.Now()
+			pr.dA.Send(p, ptA, m, nil)
+			sent = p.Now() - start
+			pr.dA.Flush(p)
+		})
+		pr.eng.Run()
+		pr.eng.Shutdown()
+		if !done {
+			t.Fatal("message lost")
+		}
+		return sent
+	}
+	fast := run(false)
+	slow := run(true)
+	if slow <= fast {
+		t.Errorf("slow wiring (%v) not costlier than fast (%v)", slow, fast)
+	}
+}

@@ -1,0 +1,591 @@
+// Package driver implements the OSIRIS host device driver (§2).
+//
+// One Driver instance manages one queue-page channel of a board: the
+// kernel's device driver runs over channel 0, and an application device
+// channel's user-level "channel driver" (§3.2) is another instance of
+// the same code over a different channel — exactly the paper's
+// structure, where the ADC driver "performs essentially the same
+// functions as the in-kernel OSIRIS device driver".
+//
+// The driver implements the paper's engineering decisions:
+//
+//   - lock-free descriptor rings with shadowed pointers (§2.1.1);
+//   - transmit completion detected by tail-pointer advance during other
+//     driver activity, with interrupts only for the full-queue /
+//     half-empty flow-control protocol (§2.1.2);
+//   - receive processing driven by one interrupt per burst, a thread
+//     that drains the receive ring and replenishes the free ring;
+//   - physical-buffer chains built from messages' scattered pages, with
+//     page wiring on the transmit path (§2.2, §2.4);
+//   - eager or lazy cache invalidation for received data (§2.3).
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/dpm"
+	"repro/internal/hostsim"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// CachePolicy selects how the driver keeps the data cache coherent with
+// received DMA data on machines without hardware coherence (§2.3).
+type CachePolicy int
+
+const (
+	// CacheEager invalidates the cache for every received buffer before
+	// delivery — safe and slow (the "cache invalidated" curve of Fig. 2).
+	CacheEager CachePolicy = iota
+	// CacheLazy delivers without invalidation and relies on protocol
+	// error detection plus RecoverData for the rare stale case.
+	CacheLazy
+	// CacheNone performs no invalidation and no recovery bookkeeping —
+	// for hardware-coherent machines (DEC 3000).
+	CacheNone
+)
+
+func (c CachePolicy) String() string {
+	switch c {
+	case CacheEager:
+		return "eager"
+	case CacheLazy:
+		return "lazy"
+	default:
+		return "none"
+	}
+}
+
+// Config configures a Driver.
+type Config struct {
+	// ChannelIndex selects the board queue-page channel (0 = kernel).
+	ChannelIndex int
+	// RxBufBytes is the receive buffer size (default 16 KB, §2.3).
+	RxBufBytes int
+	// RxBufCount is how many receive buffers circulate (default 63,
+	// filling the 64-slot free ring).
+	RxBufCount int
+	// ReserveBufs is the pool of spare buffers used to replenish the
+	// free ring while popped buffers are being processed (default 8).
+	ReserveBufs int
+	// Cache selects the invalidation policy for received data.
+	Cache CachePolicy
+	// SlowWiring uses the heavyweight page-wiring service (the §2.4
+	// "surprisingly high overhead" ablation).
+	SlowWiring bool
+	// PagedRxBufs restricts receive buffers to single pages instead of
+	// physically contiguous 16 KB regions — the §2.2 receive-side
+	// fragmentation ablation.
+	PagedRxBufs bool
+	// Space is the address space the driver allocates buffers in
+	// (default the host kernel space).
+	Space *mem.AddressSpace
+	// VirtualDMA models a host with a hardware scatter/gather map
+	// (§2.2): the driver installs one map entry per page of each
+	// outgoing message, after which the adaptor sees the buffer as
+	// virtually contiguous — saving the per-physical-buffer descriptor
+	// handling but paying the per-entry map update on every message.
+	VirtualDMA bool
+	// BufferFrames, when set, supplies the receive buffers' backing
+	// frames explicitly: one physically contiguous run per buffer. An
+	// application device channel's user-level driver must draw its
+	// buffers from the frames the OS authorized for the channel (§3.2),
+	// so it cannot allocate from the global pool. Overrides RxBufBytes /
+	// RxBufCount sizing (each run is one buffer; ReserveBufs of the runs
+	// are held back as the replenishment reserve).
+	BufferFrames [][]mem.Frame
+}
+
+// Stats counts driver activity.
+type Stats struct {
+	TxPDUs        int64
+	TxBuffers     int64 // physical buffers queued for transmit
+	RxPDUs        int64
+	RxBuffers     int64
+	TxStalls      int64 // full-ring waits
+	RxChecksumErr int64
+	Recoveries    int64 // lazy-invalidation recoveries performed
+	SGMapEntries  int64 // scatter/gather map entries installed (VirtualDMA)
+}
+
+// Handler receives an inbound PDU for a path. The message views the
+// driver's receive buffers; it is valid until the handler returns.
+type Handler func(p *sim.Proc, m *msg.Message)
+
+// Path is a connection's binding to a VCI (§3.1: "each path is bound to
+// an unused VCI by the device driver").
+type Path struct {
+	VCI     atm.VCI
+	handler Handler
+}
+
+// txPending tracks one transmitted PDU awaiting completion (tail
+// advance past its descriptors).
+type txPending struct {
+	descs int
+	m     *msg.Message
+	done  func(p *sim.Proc)
+}
+
+// rxBuffer is one receive buffer owned by the driver.
+type rxBuffer struct {
+	va    mem.VirtAddr
+	pa    mem.PhysAddr
+	size  int
+	space *mem.AddressSpace
+}
+
+// mutex is a cooperative lock for the simulation world: the descriptor
+// rings are strictly one-reader-one-writer (§2.1.1), so when several
+// host threads share the driver, the driver itself must serialize its
+// side of each ring — exactly what the in-kernel driver's locking did.
+type mutex struct {
+	held bool
+	cond *sim.Cond
+}
+
+func newMutex(e *sim.Engine) *mutex { return &mutex{cond: sim.NewCond(e)} }
+
+func (m *mutex) lock(p *sim.Proc) {
+	for m.held {
+		m.cond.Wait(p)
+	}
+	m.held = true
+}
+
+func (m *mutex) unlock() {
+	m.held = false
+	m.cond.Signal()
+}
+
+// Driver is the host-side driver for one board channel.
+type Driver struct {
+	host *hostsim.Host
+	b    *board.Board
+	ch   *board.Channel
+	cfg  Config
+
+	paths map[atm.VCI]*Path
+
+	// Transmit side.
+	pending   []txPending
+	lastTail  uint32
+	txCredits int // descriptors known consumed but not yet matched
+	txCond    *sim.Cond
+	txMu      *mutex // serializes the host's writer side of the tx ring
+
+	// Receive side.
+	byPA    map[mem.PhysAddr]*rxBuffer
+	reserve []*rxBuffer
+	rxCond  *sim.Cond
+	freeMu  *mutex       // serializes the host's writer side of the free ring
+	partial []queue.Desc // descs of the PDU being accumulated
+
+	// Buffer retention (fragment reassembly above the driver).
+	currentMsg  *msg.Message
+	currentBufs []*rxBuffer
+	retainFlag  bool
+	retained    map[*msg.Message][]*rxBuffer
+
+	stats Stats
+}
+
+// New builds a driver over the given channel of b, allocates and wires
+// its receive buffer pool, fills the free ring, registers interrupt
+// handlers, and starts the receive thread.
+func New(e *sim.Engine, h *hostsim.Host, b *board.Board, cfg Config) *Driver {
+	if cfg.RxBufBytes == 0 {
+		cfg.RxBufBytes = 16 * 1024
+	}
+	if cfg.PagedRxBufs {
+		cfg.RxBufBytes = h.Mem.PageSize()
+	}
+	if cfg.RxBufCount == 0 {
+		cfg.RxBufCount = 63
+	}
+	if cfg.ReserveBufs == 0 {
+		cfg.ReserveBufs = 8
+	}
+	if cfg.Space == nil {
+		cfg.Space = h.Kernel
+	}
+	d := &Driver{
+		host:     h,
+		b:        b,
+		ch:       b.Channel(cfg.ChannelIndex),
+		cfg:      cfg,
+		paths:    make(map[atm.VCI]*Path),
+		byPA:     make(map[mem.PhysAddr]*rxBuffer),
+		txCond:   sim.NewCond(e),
+		rxCond:   sim.NewCond(e),
+		txMu:     newMutex(e),
+		freeMu:   newMutex(e),
+		retained: make(map[*msg.Message][]*rxBuffer),
+	}
+	h.Int.Handle(board.RxIRQBase+cfg.ChannelIndex, func(p *sim.Proc) {
+		h.Compute(p, h.Prof.ThreadDispatch)
+		d.rxCond.Broadcast()
+	})
+	h.Int.Handle(board.TxIRQBase+cfg.ChannelIndex, func(p *sim.Proc) {
+		d.txCond.Broadcast()
+	})
+
+	e.Go(fmt.Sprintf("driver-ch%d-init", cfg.ChannelIndex), func(p *sim.Proc) {
+		d.ch.TxRing.Init(p, dpm.Host)
+		d.ch.FreeRing.Init(p, dpm.Host)
+		d.ch.RecvRing.Init(p, dpm.Host)
+		total := cfg.RxBufCount + cfg.ReserveBufs
+		if cfg.BufferFrames != nil {
+			total = len(cfg.BufferFrames)
+		}
+		for i := 0; i < total; i++ {
+			var buf *rxBuffer
+			if cfg.BufferFrames != nil {
+				buf = d.adoptRxBuffer(p, cfg.BufferFrames[i])
+			} else {
+				buf = d.allocRxBuffer(p)
+			}
+			pushed := false
+			if i < total-cfg.ReserveBufs {
+				d.freeMu.lock(p)
+				pushed = d.ch.FreeRing.TryPush(p, dpm.Host, queue.Desc{Addr: buf.pa, Len: uint32(buf.size)})
+				d.freeMu.unlock()
+			}
+			if !pushed {
+				d.reserve = append(d.reserve, buf)
+			}
+		}
+		b.KickFree()
+	})
+	e.Go(fmt.Sprintf("driver-ch%d-rx", cfg.ChannelIndex), d.rxThread)
+	return d
+}
+
+// allocRxBuffer carves one receive buffer: physically contiguous (the
+// driver's default, possible because the kernel controls these pages)
+// unless PagedRxBufs restricts it to a single page (§2.2). The pages are
+// wired once, up front — they live on the DMA path forever.
+func (d *Driver) allocRxBuffer(p *sim.Proc) *rxBuffer {
+	m := d.host.Mem
+	pages := (d.cfg.RxBufBytes + m.PageSize() - 1) / m.PageSize()
+	frames, err := m.AllocContiguous(pages)
+	if err != nil {
+		panic("driver: out of contiguous memory for receive buffers: " + err.Error())
+	}
+	va, err := d.cfg.Space.MapFrames(frames)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range frames {
+		m.Wire(f)
+	}
+	d.host.WirePages(p, pages, d.cfg.SlowWiring)
+	buf := &rxBuffer{
+		va:    va,
+		pa:    m.FrameAddr(frames[0]),
+		size:  d.cfg.RxBufBytes,
+		space: d.cfg.Space,
+	}
+	d.byPA[buf.pa] = buf
+	return buf
+}
+
+// adoptRxBuffer registers a caller-supplied contiguous frame run as one
+// receive buffer, mapping and wiring it in the driver's space.
+func (d *Driver) adoptRxBuffer(p *sim.Proc, frames []mem.Frame) *rxBuffer {
+	m := d.host.Mem
+	for i := 1; i < len(frames); i++ {
+		if frames[i] != frames[i-1]+1 {
+			panic("driver: BufferFrames run not physically contiguous")
+		}
+	}
+	va, err := d.cfg.Space.MapFrames(frames)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range frames {
+		m.Wire(f)
+	}
+	d.host.WirePages(p, len(frames), d.cfg.SlowWiring)
+	buf := &rxBuffer{
+		va:    va,
+		pa:    m.FrameAddr(frames[0]),
+		size:  len(frames) * m.PageSize(),
+		space: d.cfg.Space,
+	}
+	d.byPA[buf.pa] = buf
+	return buf
+}
+
+// Space returns the address space the driver's buffers live in.
+func (d *Driver) Space() *mem.AddressSpace { return d.cfg.Space }
+
+// Stats returns a copy of the counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Driver) ResetStats() { d.stats = Stats{} }
+
+// Board returns the board this driver drives.
+func (d *Driver) Board() *board.Board { return d.b }
+
+// Host returns the host.
+func (d *Driver) Host() *hostsim.Host { return d.host }
+
+// OpenPath binds a VCI to a handler, establishing a path through the
+// adaptor for one connection (§3.1).
+func (d *Driver) OpenPath(vci atm.VCI, h Handler) *Path {
+	pt := &Path{VCI: vci, handler: h}
+	d.paths[vci] = pt
+	d.b.BindVCI(vci, d.cfg.ChannelIndex)
+	return pt
+}
+
+// ClosePath releases a path's VCI.
+func (d *Driver) ClosePath(pt *Path) {
+	delete(d.paths, pt.VCI)
+	d.b.UnbindVCI(pt.VCI)
+}
+
+// SetHandler replaces a path's handler.
+func (pt *Path) SetHandler(h Handler) { pt.handler = h }
+
+// Send queues a message for transmission on a path and returns once all
+// its descriptors are queued (not when transmission completes; register
+// onComplete for that, e.g. to free header buffers). The message's pages
+// are wired for the DMA and unwired at completion (§2.4).
+func (d *Driver) Send(p *sim.Proc, pt *Path, m *msg.Message, onComplete func(p *sim.Proc)) error {
+	segs, err := m.PhysSegments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("driver: empty message")
+	}
+	if err := m.WireAll(); err != nil {
+		return err
+	}
+	pages := 0
+	for _, f := range m.Fragments() {
+		pages += (f.Len + d.host.Mem.PageSize() - 1) / d.host.Mem.PageSize()
+	}
+	if d.cfg.VirtualDMA {
+		// One map entry per page, then the adaptor sees one buffer; the
+		// per-physical-buffer driver cost disappears but the map update
+		// is paid on every message (§2.2).
+		d.host.Compute(p, d.host.Prof.DriverTxPerPDU+time.Duration(pages)*d.host.Prof.SGMapPerEntry)
+		d.host.Bus.PIOWrite(p, 2*pages)
+		d.stats.SGMapEntries += int64(pages)
+	} else {
+		d.host.Compute(p, d.host.Prof.DriverTxPerPDU+time.Duration(len(segs)-1)*d.host.Prof.DriverPerBuffer)
+	}
+	d.host.WirePages(p, pages, d.cfg.SlowWiring)
+
+	d.txMu.lock(p)
+	for i, seg := range segs {
+		desc := queue.Desc{Addr: seg.Addr, Len: uint32(seg.Len), VCI: pt.VCI}
+		if i == len(segs)-1 {
+			desc.Flags = queue.FlagEOP
+		}
+		for !d.ch.TxRing.TryPush(p, dpm.Host, desc) {
+			// Full transmit queue: reclaim opportunistically, then fall
+			// back to the notify/half-empty interrupt protocol (§2.1.2).
+			d.reclaimLocked(p)
+			if !d.ch.TxRing.WriterFull(p, dpm.Host) {
+				continue
+			}
+			d.stats.TxStalls++
+			if d.host.Eng.Tracing() {
+				d.host.Eng.Tracef("drv: ch%d tx ring full, arming notify", d.cfg.ChannelIndex)
+			}
+			d.b.DPM.WriteWord(p, dpm.Host, d.ch.NotifyFlagOff(), 1)
+			d.b.KickTx()
+			d.txCond.Wait(p)
+			d.reclaimLocked(p)
+		}
+	}
+	d.stats.TxPDUs++
+	d.stats.TxBuffers += int64(len(segs))
+	d.pending = append(d.pending, txPending{descs: len(segs), m: m, done: onComplete})
+	d.b.KickTx()
+	// Transmit-complete detection piggybacks on other driver activity.
+	d.reclaimLocked(p)
+	d.txMu.unlock()
+	return nil
+}
+
+// reclaim observes the transmit ring's tail and retires completed PDUs:
+// unwiring their pages and running completion callbacks. This is the
+// §2.1.2 "checks for this condition as part of other driver activity".
+func (d *Driver) reclaim(p *sim.Proc) {
+	d.txMu.lock(p)
+	d.reclaimLocked(p)
+	d.txMu.unlock()
+}
+
+func (d *Driver) reclaimLocked(p *sim.Proc) {
+	tail := d.ch.TxRing.ObserveTail(p, dpm.Host)
+	delta := int(tail-d.lastTail) % d.ch.TxRing.Slots()
+	if delta < 0 {
+		delta += d.ch.TxRing.Slots()
+	}
+	d.lastTail = tail
+	d.txCredits += delta
+	for len(d.pending) > 0 && d.txCredits >= d.pending[0].descs {
+		ent := d.pending[0]
+		d.pending = d.pending[1:]
+		d.txCredits -= ent.descs
+		if err := ent.m.UnwireAll(); err != nil {
+			panic(err)
+		}
+		if ent.done != nil {
+			ent.done(p)
+		}
+	}
+}
+
+// Flush blocks until every queued PDU has completed transmission.
+func (d *Driver) Flush(p *sim.Proc) {
+	for len(d.pending) > 0 {
+		d.reclaim(p)
+		if len(d.pending) > 0 {
+			p.Sleep(5 * time.Microsecond)
+		}
+	}
+}
+
+// rxThread is the driver's receive thread: woken by the (single per
+// burst) receive interrupt, it repeatedly removes a filled buffer from
+// the receive queue, adds a fresh free buffer, and initiates processing
+// (§2.1.1).
+func (d *Driver) rxThread(p *sim.Proc) {
+	for {
+		processed := false
+		for {
+			desc, ok := d.ch.RecvRing.TryPop(p, dpm.Host)
+			if !ok {
+				break
+			}
+			processed = true
+			d.stats.RxBuffers++
+			// Replenish the free queue immediately.
+			if len(d.reserve) > 0 {
+				rb := d.reserve[len(d.reserve)-1]
+				d.reserve = d.reserve[:len(d.reserve)-1]
+				d.freeMu.lock(p)
+				pushed := d.ch.FreeRing.TryPush(p, dpm.Host, queue.Desc{Addr: rb.pa, Len: uint32(rb.size)})
+				d.freeMu.unlock()
+				if pushed {
+					d.b.KickFree()
+				} else {
+					d.reserve = append(d.reserve, rb)
+				}
+			}
+			d.partial = append(d.partial, desc)
+			if desc.Flags&queue.FlagEOP != 0 {
+				d.deliverPDU(p, d.partial)
+				d.partial = nil
+			}
+		}
+		if processed {
+			// Opportunistic transmit reclaim while we're here.
+			d.reclaim(p)
+		}
+		d.rxCond.Wait(p)
+	}
+}
+
+// deliverPDU assembles a message view over the received buffers, applies
+// the cache policy, and hands it up the bound path. The buffers return
+// to the reserve pool when the handler finishes.
+func (d *Driver) deliverPDU(p *sim.Proc, descs []queue.Desc) {
+	d.stats.RxPDUs++
+	if d.host.Eng.Tracing() {
+		d.host.Eng.Tracef("pdu: ch%d deliver vci=%d bufs=%d", d.cfg.ChannelIndex, descs[len(descs)-1].VCI, len(descs))
+	}
+	d.host.Compute(p, d.host.Prof.DriverRxPerPDU+time.Duration(len(descs)-1)*d.host.Prof.DriverPerBuffer)
+
+	var frags []msg.Fragment
+	var bufs []*rxBuffer
+	for _, desc := range descs {
+		rb := d.byPA[desc.Addr]
+		if rb == nil {
+			panic(fmt.Sprintf("driver: received descriptor for unknown buffer %#x", uint32(desc.Addr)))
+		}
+		bufs = append(bufs, rb)
+		if desc.Len > 0 {
+			frags = append(frags, msg.Fragment{Space: rb.space, VA: rb.va, Len: int(desc.Len)})
+		}
+		if d.cfg.Cache == CacheEager && desc.Len > 0 {
+			d.host.InvalidateData(p, []mem.PhysBuffer{{Addr: desc.Addr, Len: int(desc.Len)}})
+		}
+	}
+	m := msg.New(frags...)
+	pt := d.paths[descs[len(descs)-1].VCI]
+	d.currentMsg, d.currentBufs, d.retainFlag = m, bufs, false
+	if pt != nil && pt.handler != nil {
+		pt.handler(p, m)
+	}
+	if d.retainFlag {
+		d.retained[m] = bufs
+	} else {
+		// Handler done: recycle the buffers.
+		d.reserve = append(d.reserve, bufs...)
+	}
+	d.currentMsg, d.currentBufs, d.retainFlag = nil, nil, false
+}
+
+// Retain, called from within a path handler, transfers ownership of the
+// PDU's receive buffers to the caller — an upper protocol holding a
+// fragment for reassembly. The buffers must eventually come back via
+// Release or the receive pool shrinks (exactly the resource the paper's
+// copy-free data path has to manage, §2.2/§3.1).
+func (d *Driver) Retain(m *msg.Message) {
+	if m != d.currentMsg {
+		panic("driver: Retain outside the delivering handler")
+	}
+	d.retainFlag = true
+}
+
+// Release returns retained buffers to the receive pool. Releasing the
+// message currently being delivered (retained and released within the
+// same handler invocation) simply cancels the retention.
+func (d *Driver) Release(_ *sim.Proc, m *msg.Message) {
+	if m == d.currentMsg {
+		d.retainFlag = false
+		return
+	}
+	bufs, ok := d.retained[m]
+	if !ok {
+		panic("driver: Release of unretained message")
+	}
+	delete(d.retained, m)
+	d.reserve = append(d.reserve, bufs...)
+}
+
+// RecoverData is the lazy-invalidation recovery path (§2.3): when a
+// protocol detects a data error it invalidates the cache over the
+// message's buffers and re-evaluates before declaring the message bad.
+func (d *Driver) RecoverData(p *sim.Proc, m *msg.Message) bool {
+	if d.cfg.Cache != CacheLazy {
+		return false
+	}
+	segs, err := m.PhysSegments()
+	if err != nil {
+		return false
+	}
+	d.stats.Recoveries++
+	if d.host.Eng.Tracing() {
+		d.host.Eng.Tracef("proto: ch%d lazy-invalidation recovery (%d bytes)", d.cfg.ChannelIndex, m.Len())
+	}
+	d.host.InvalidateData(p, segs)
+	return true
+}
+
+// NoteChecksumError records a protocol-detected data error.
+func (d *Driver) NoteChecksumError() { d.stats.RxChecksumErr++ }

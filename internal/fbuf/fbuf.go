@@ -1,0 +1,340 @@
+// Package fbuf implements fast buffers (§3.1): a high-bandwidth
+// cross-domain buffer transfer and management facility.
+//
+// An fbuf combines page remapping and shared memory: pages that have
+// been mapped into a set of protection domains are cached for reuse by
+// future transfers along the same data path. Because the OSIRIS adaptor
+// makes an early demultiplexing decision (the VCI identifies the path
+// before any data is stored), incoming data can be placed directly into
+// an fbuf that is already mapped into every domain the packet will
+// traverse. Using such a *cached* fbuf instead of an *uncached* one —
+// which must be mapped into each domain as it travels — is "an order of
+// magnitude difference in how fast the data can be transferred across a
+// domain boundary".
+//
+// The manager keeps preallocated cached-fbuf pools for the 16 most
+// recently used paths plus a single pool of uncached fbufs, exactly the
+// driver strategy the paper describes.
+package fbuf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/hostsim"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// DefaultMaxCachedPaths is the number of per-path pools the manager
+// keeps (§3.1: "the 16 most recently used data paths").
+const DefaultMaxCachedPaths = 16
+
+// Domain is one protection domain data may traverse: device driver,
+// network server, application.
+type Domain struct {
+	Name  string
+	Space *mem.AddressSpace
+}
+
+// NewDomain creates a protection domain with a fresh address space.
+func NewDomain(h *hostsim.Host, name string) *Domain {
+	return &Domain{Name: name, Space: h.Mem.NewSpace(name)}
+}
+
+// Fbuf is one fast buffer: a run of page frames plus its current set of
+// domain mappings.
+type Fbuf struct {
+	mgr    *Manager
+	frames []mem.Frame
+	size   int
+	vas    map[*Domain]mem.VirtAddr
+	path   atm.VCI // the path whose pool owns it; 0 for uncached
+	cached bool
+}
+
+// Size returns the fbuf's capacity in bytes.
+func (f *Fbuf) Size() int { return f.size }
+
+// Cached reports whether the fbuf belongs to a cached per-path pool.
+func (f *Fbuf) Cached() bool { return f.cached }
+
+// MappedIn reports whether the fbuf is currently mapped in d.
+func (f *Fbuf) MappedIn(d *Domain) bool {
+	_, ok := f.vas[d]
+	return ok
+}
+
+// VA returns the fbuf's virtual address in domain d; the fbuf must be
+// mapped there.
+func (f *Fbuf) VA(d *Domain) (mem.VirtAddr, error) {
+	va, ok := f.vas[d]
+	if !ok {
+		return 0, fmt.Errorf("fbuf: not mapped in domain %s", d.Name)
+	}
+	return va, nil
+}
+
+// Write stores data into the fbuf through domain d's mapping.
+func (f *Fbuf) Write(d *Domain, off int, data []byte) error {
+	va, err := f.VA(d)
+	if err != nil {
+		return err
+	}
+	if off+len(data) > f.size {
+		return fmt.Errorf("fbuf: write [%d,%d) beyond size %d", off, off+len(data), f.size)
+	}
+	return d.Space.WriteVirt(va+mem.VirtAddr(off), data)
+}
+
+// Read fetches n bytes from the fbuf through domain d's mapping.
+func (f *Fbuf) Read(d *Domain, off, n int) ([]byte, error) {
+	va, err := f.VA(d)
+	if err != nil {
+		return nil, err
+	}
+	if off+n > f.size {
+		return nil, fmt.Errorf("fbuf: read [%d,%d) beyond size %d", off, off+n, f.size)
+	}
+	return d.Space.ReadVirt(va+mem.VirtAddr(off), n)
+}
+
+// PhysBuffers returns the fbuf's physical extents (for DMA descriptors).
+func (f *Fbuf) PhysBuffers() []mem.PhysBuffer {
+	m := f.mgr.host.Mem
+	var segs []mem.PhysBuffer
+	for _, fr := range f.frames {
+		pa := m.FrameAddr(fr)
+		if n := len(segs); n > 0 && segs[n-1].End() == pa {
+			segs[n-1].Len += m.PageSize()
+		} else {
+			segs = append(segs, mem.PhysBuffer{Addr: pa, Len: m.PageSize()})
+		}
+	}
+	return segs
+}
+
+// Transfer passes the fbuf across a domain boundary. For a cached fbuf
+// the pages are already mapped at both ends, so the cost is a constant
+// hand-off; an uncached fbuf pays per-page mapping work on its way into
+// the destination domain (§3.1).
+func (f *Fbuf) Transfer(p *sim.Proc, from, to *Domain) error {
+	if _, ok := f.vas[from]; !ok {
+		return fmt.Errorf("fbuf: transfer from %s, where it is not mapped", from.Name)
+	}
+	prof := f.mgr.host.Prof
+	if _, mapped := f.vas[to]; mapped {
+		f.mgr.host.Compute(p, prof.FbufTransfer)
+		f.mgr.stats.CachedTransfers++
+		return nil
+	}
+	f.mgr.host.Compute(p, prof.FbufTransfer+time.Duration(len(f.frames))*prof.FbufMapPerPage)
+	va, err := to.Space.MapFrames(f.frames)
+	if err != nil {
+		return err
+	}
+	f.vas[to] = va
+	f.mgr.stats.UncachedTransfers++
+	f.mgr.stats.PagesMapped += int64(len(f.frames))
+	return nil
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	CachedAllocs      int64
+	CachedMisses      int64 // cached pool empty, fell back to uncached
+	UncachedAllocs    int64
+	CachedTransfers   int64
+	UncachedTransfers int64
+	PagesMapped       int64
+	PathEvictions     int64
+}
+
+// pathPool is the preallocated cached-fbuf queue for one path.
+type pathPool struct {
+	vci     atm.VCI
+	domains []*Domain
+	free    []*Fbuf
+	lastUse int64 // LRU clock
+}
+
+// Manager is one host's fbuf allocator.
+type Manager struct {
+	host     *hostsim.Host
+	maxPaths int
+	pools    map[atm.VCI]*pathPool
+	uncached []*Fbuf
+	clock    int64
+	stats    Stats
+}
+
+// NewManager returns a manager keeping up to maxPaths cached path pools
+// (0 means DefaultMaxCachedPaths).
+func NewManager(h *hostsim.Host, maxPaths int) *Manager {
+	if maxPaths == 0 {
+		maxPaths = DefaultMaxCachedPaths
+	}
+	return &Manager{host: h, maxPaths: maxPaths, pools: make(map[atm.VCI]*pathPool)}
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// CachedPaths returns the number of live per-path pools.
+func (m *Manager) CachedPaths() int { return len(m.pools) }
+
+func (m *Manager) newFbuf(size int) (*Fbuf, error) {
+	ps := m.host.Mem.PageSize()
+	pages := (size + ps - 1) / ps
+	frames := make([]mem.Frame, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, err := m.host.Mem.AllocFrame()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	return &Fbuf{
+		mgr:    m,
+		frames: frames,
+		size:   pages * ps,
+		vas:    make(map[*Domain]mem.VirtAddr),
+	}, nil
+}
+
+// DefinePath preallocates a pool of count cached fbufs of the given
+// size for the path identified by vci, mapped up-front into every
+// domain in the path's chain. If the 16-pool budget is exceeded the
+// least recently used path is evicted (its fbufs lose their cached
+// status). Setup cost (the mapping work) is charged to p — it happens
+// at connection establishment, off the data path.
+func (m *Manager) DefinePath(p *sim.Proc, vci atm.VCI, domains []*Domain, count, size int) error {
+	if len(domains) == 0 {
+		return fmt.Errorf("fbuf: path needs at least one domain")
+	}
+	if _, dup := m.pools[vci]; dup {
+		return fmt.Errorf("fbuf: path for VCI %d already defined", vci)
+	}
+	if len(m.pools) >= m.maxPaths {
+		m.evictLRU()
+	}
+	pool := &pathPool{vci: vci, domains: domains}
+	for i := 0; i < count; i++ {
+		f, err := m.newFbuf(size)
+		if err != nil {
+			return err
+		}
+		for _, d := range domains {
+			va, err := d.Space.MapFrames(f.frames)
+			if err != nil {
+				return err
+			}
+			f.vas[d] = va
+			m.host.Compute(p, time.Duration(len(f.frames))*m.host.Prof.FbufMapPerPage)
+		}
+		f.cached = true
+		f.path = vci
+		pool.free = append(pool.free, f)
+	}
+	m.clock++
+	pool.lastUse = m.clock
+	m.pools[vci] = pool
+	return nil
+}
+
+func (m *Manager) evictLRU() {
+	var victim *pathPool
+	for _, pool := range m.pools {
+		if victim == nil || pool.lastUse < victim.lastUse {
+			victim = pool
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(m.pools, victim.vci)
+	m.stats.PathEvictions++
+	for _, f := range victim.free {
+		f.cached = false
+		f.path = 0
+		// Its mappings are torn down lazily; as an uncached fbuf it will
+		// be remapped per transfer. Keep only the first domain (its
+		// producer) mapped.
+		first := victim.domains[0]
+		va := f.vas[first]
+		f.vas = map[*Domain]mem.VirtAddr{first: va}
+		m.uncached = append(m.uncached, f)
+	}
+}
+
+// Alloc returns an fbuf for the given path: a cached one when the
+// path's pool has any ("the data path ... must be determined by the
+// adaptor so that it can be stored in an appropriate buffer"),
+// otherwise an uncached fbuf mapped only into origin.
+func (m *Manager) Alloc(p *sim.Proc, vci atm.VCI, origin *Domain, size int) (*Fbuf, error) {
+	if pool, ok := m.pools[vci]; ok {
+		m.clock++
+		pool.lastUse = m.clock
+		if n := len(pool.free); n > 0 {
+			f := pool.free[n-1]
+			pool.free = pool.free[:n-1]
+			m.stats.CachedAllocs++
+			return f, nil
+		}
+		m.stats.CachedMisses++
+	}
+	return m.AllocUncached(p, origin, size)
+}
+
+// AllocUncached returns an fbuf from the uncached pool (or a fresh one),
+// mapped only into origin.
+func (m *Manager) AllocUncached(p *sim.Proc, origin *Domain, size int) (*Fbuf, error) {
+	m.stats.UncachedAllocs++
+	for i, f := range m.uncached {
+		if f.size >= size {
+			m.uncached = append(m.uncached[:i], m.uncached[i+1:]...)
+			if _, ok := f.vas[origin]; !ok {
+				va, err := origin.Space.MapFrames(f.frames)
+				if err != nil {
+					return nil, err
+				}
+				f.vas[origin] = va
+				m.host.Compute(p, time.Duration(len(f.frames))*m.host.Prof.FbufMapPerPage)
+			}
+			return f, nil
+		}
+	}
+	f, err := m.newFbuf(size)
+	if err != nil {
+		return nil, err
+	}
+	va, err := origin.Space.MapFrames(f.frames)
+	if err != nil {
+		return nil, err
+	}
+	f.vas[origin] = va
+	m.host.Compute(p, time.Duration(len(f.frames))*m.host.Prof.FbufMapPerPage)
+	return f, nil
+}
+
+// Free returns an fbuf to its pool: cached fbufs rejoin their path's
+// pool with mappings intact (that is the whole point); uncached ones go
+// to the shared pool.
+func (m *Manager) Free(f *Fbuf) {
+	if f.cached {
+		if pool, ok := m.pools[f.path]; ok {
+			pool.free = append(pool.free, f)
+			return
+		}
+		f.cached = false
+	}
+	m.uncached = append(m.uncached, f)
+}
+
+// CopyTransfer models the traditional alternative: copying the data
+// across the boundary instead of remapping. Returned for benchmarking
+// (§3.1's implicit baseline).
+func (m *Manager) CopyTransfer(p *sim.Proc, pages int) {
+	m.host.Compute(p, time.Duration(pages)*m.host.Prof.CopyPerPage)
+}

@@ -1,0 +1,272 @@
+package fbuf
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/hostsim"
+	"repro/internal/sim"
+)
+
+func newRig() (*sim.Engine, *hostsim.Host, *Manager) {
+	e := sim.NewEngine(1)
+	h := hostsim.New(e, hostsim.DEC5000_200(), 4096)
+	return e, h, NewManager(h, 0)
+}
+
+func TestCachedPathRoundTrip(t *testing.T) {
+	e, h, m := newRig()
+	drvDom := NewDomain(h, "driver")
+	appDom := NewDomain(h, "app")
+	e.Go("t", func(p *sim.Proc) {
+		if err := m.DefinePath(p, 7, []*Domain{drvDom, appDom}, 4, 8192); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.Alloc(p, 7, drvDom, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Cached() {
+			t.Error("path pool returned uncached fbuf")
+		}
+		data := []byte("early demultiplexing pays off")
+		if err := f.Write(drvDom, 100, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Transfer(p, drvDom, appDom); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Read(appDom, 100, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("data not visible across domains")
+		}
+		m.Free(f)
+	})
+	e.Run()
+	e.Shutdown()
+	if m.Stats().CachedAllocs != 1 || m.Stats().CachedTransfers != 1 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+func TestCachedTransferOrderOfMagnitudeCheaper(t *testing.T) {
+	// §3.1: cached vs uncached "can mean an order of magnitude
+	// difference in how fast the data can be transferred".
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	b := NewDomain(h, "b")
+	var cached, uncached time.Duration
+	e.Go("t", func(p *sim.Proc) {
+		if err := m.DefinePath(p, 9, []*Domain{a, b}, 1, 16384); err != nil {
+			t.Fatal(err)
+		}
+		cf, _ := m.Alloc(p, 9, a, 16384)
+		start := p.Now()
+		cf.Transfer(p, a, b)
+		cached = time.Duration(p.Now() - start)
+
+		uf, err := m.AllocUncached(p, a, 16384)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start = p.Now()
+		uf.Transfer(p, a, b)
+		uncached = time.Duration(p.Now() - start)
+	})
+	e.Run()
+	e.Shutdown()
+	if uncached < 10*cached {
+		t.Errorf("uncached (%v) not ≥10x cached (%v)", uncached, cached)
+	}
+}
+
+func TestAllocFallsBackWhenPoolEmpty(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	b := NewDomain(h, "b")
+	e.Go("t", func(p *sim.Proc) {
+		m.DefinePath(p, 5, []*Domain{a, b}, 1, 4096)
+		f1, _ := m.Alloc(p, 5, a, 4096)
+		f2, err := m.Alloc(p, 5, a, 4096) // pool exhausted
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f2.Cached() {
+			t.Error("second alloc should be uncached")
+		}
+		m.Free(f1)
+		f3, _ := m.Alloc(p, 5, a, 4096)
+		if !f3.Cached() {
+			t.Error("freed cached fbuf did not rejoin its pool")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if m.Stats().CachedMisses != 1 {
+		t.Errorf("CachedMisses = %d", m.Stats().CachedMisses)
+	}
+}
+
+func TestAllocUnknownVCIIsUncached(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	e.Go("t", func(p *sim.Proc) {
+		f, err := m.Alloc(p, 99, a, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Cached() {
+			t.Error("unknown VCI yielded cached fbuf")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestLRUEvictionAtSixteenPaths(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	b := NewDomain(h, "b")
+	e.Go("t", func(p *sim.Proc) {
+		for vci := 1; vci <= DefaultMaxCachedPaths; vci++ {
+			if err := m.DefinePath(p, atm.VCI(vci), []*Domain{a, b}, 1, 4096); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.CachedPaths() != 16 {
+			t.Fatalf("CachedPaths = %d", m.CachedPaths())
+		}
+		// Touch path 1 so it is recently used; path 2 becomes LRU.
+		m.Alloc(p, 1, a, 4096)
+		if err := m.DefinePath(p, 17, []*Domain{a, b}, 1, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if m.CachedPaths() != 16 {
+			t.Errorf("CachedPaths = %d after eviction", m.CachedPaths())
+		}
+		// Path 2 must now miss; path 1 must still hit (it is checked out
+		// though, so use path 3 to verify a hit).
+		f, _ := m.Alloc(p, 2, a, 4096)
+		if f.Cached() {
+			t.Error("evicted path still served cached fbufs")
+		}
+		f3, _ := m.Alloc(p, 3, a, 4096)
+		if !f3.Cached() {
+			t.Error("surviving path lost its pool")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if m.Stats().PathEvictions != 1 {
+		t.Errorf("PathEvictions = %d", m.Stats().PathEvictions)
+	}
+}
+
+func TestTransferRequiresSourceMapping(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	b := NewDomain(h, "b")
+	c := NewDomain(h, "c")
+	e.Go("t", func(p *sim.Proc) {
+		f, _ := m.AllocUncached(p, a, 4096)
+		if err := f.Transfer(p, b, c); err == nil {
+			t.Error("transfer from unmapped domain succeeded")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestReadWriteBoundsChecked(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	e.Go("t", func(p *sim.Proc) {
+		f, _ := m.AllocUncached(p, a, 4096)
+		if err := f.Write(a, 4090, make([]byte, 10)); err == nil {
+			t.Error("overflowing write accepted")
+		}
+		if _, err := f.Read(a, 4090, 10); err == nil {
+			t.Error("overflowing read accepted")
+		}
+		b := NewDomain(h, "b")
+		if err := f.Write(b, 0, []byte{1}); err == nil {
+			t.Error("write through unmapped domain accepted")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestPhysBuffersCoverFbuf(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	e.Go("t", func(p *sim.Proc) {
+		f, _ := m.AllocUncached(p, a, 3*4096)
+		segs := f.PhysBuffers()
+		total := 0
+		for _, s := range segs {
+			total += s.Len
+		}
+		if total != 3*4096 {
+			t.Errorf("segments cover %d", total)
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	_ = h
+}
+
+func TestDefinePathValidation(t *testing.T) {
+	e, h, m := newRig()
+	a := NewDomain(h, "a")
+	e.Go("t", func(p *sim.Proc) {
+		if err := m.DefinePath(p, 1, nil, 1, 4096); err == nil {
+			t.Error("empty domain chain accepted")
+		}
+		m.DefinePath(p, 1, []*Domain{a}, 1, 4096)
+		if err := m.DefinePath(p, 1, []*Domain{a}, 1, 4096); err == nil {
+			t.Error("duplicate path accepted")
+		}
+	})
+	e.Run()
+	e.Shutdown()
+}
+
+func TestThreeDomainPipeline(t *testing.T) {
+	// driver → multiplexing server → application, the microkernel
+	// scenario of §3.1.
+	e, h, m := newRig()
+	drv := NewDomain(h, "driver")
+	srv := NewDomain(h, "server")
+	app := NewDomain(h, "app")
+	chain := []*Domain{drv, srv, app}
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	var got []byte
+	e.Go("t", func(p *sim.Proc) {
+		if err := m.DefinePath(p, 4, chain, 2, 8192); err != nil {
+			t.Fatal(err)
+		}
+		f, _ := m.Alloc(p, 4, drv, 8192)
+		f.Write(drv, 0, data)
+		f.Transfer(p, drv, srv)
+		f.Transfer(p, srv, app)
+		got, _ = f.Read(app, 0, len(data))
+		m.Free(f)
+	})
+	e.Run()
+	e.Shutdown()
+	if !bytes.Equal(got, data) {
+		t.Error("pipeline corrupted data")
+	}
+	if m.Stats().CachedTransfers != 2 {
+		t.Errorf("CachedTransfers = %d", m.Stats().CachedTransfers)
+	}
+}

@@ -1,0 +1,268 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaults(t *testing.T) {
+	m := New(Config{})
+	if m.PageSize() != 4096 {
+		t.Errorf("PageSize = %d, want 4096", m.PageSize())
+	}
+	if m.Pages() != 4096 {
+		t.Errorf("Pages = %d, want 4096", m.Pages())
+	}
+	if m.FreePages() != 4096 {
+		t.Errorf("FreePages = %d, want 4096", m.FreePages())
+	}
+}
+
+func TestNonPowerOfTwoPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for page size 3000")
+		}
+	}()
+	New(Config{PageSize: 3000})
+}
+
+func TestAllocFreeFrame(t *testing.T) {
+	m := New(Config{Pages: 8})
+	seen := make(map[Frame]bool)
+	var frames []Frame
+	for i := 0; i < 8; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+		frames = append(frames, f)
+	}
+	if _, err := m.AllocFrame(); err == nil {
+		t.Error("allocation beyond capacity succeeded")
+	}
+	for _, f := range frames {
+		m.FreeFrame(f)
+	}
+	if m.FreePages() != 8 {
+		t.Errorf("FreePages = %d after freeing all, want 8", m.FreePages())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := New(Config{Pages: 4})
+	f, _ := m.AllocFrame()
+	m.FreeFrame(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	m.FreeFrame(f)
+}
+
+func TestScrambledAllocationIsDiscontiguous(t *testing.T) {
+	// The default allocator must usually hand out non-adjacent frames;
+	// this is the premise of the §2.2 fragmentation analysis.
+	m := New(Config{Pages: 1024, Seed: 7})
+	adjacent := 0
+	var prev Frame
+	for i := 0; i < 100; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (f == prev+1) {
+			adjacent++
+		}
+		prev = f
+	}
+	if adjacent > 10 {
+		t.Errorf("%d/99 consecutive allocations were physically adjacent; allocator not fragmenting", adjacent)
+	}
+}
+
+func TestSequentialModeIsContiguous(t *testing.T) {
+	m := New(Config{Pages: 64, Sequential: true})
+	a, _ := m.AllocFrame()
+	b, _ := m.AllocFrame()
+	if b != a-1 && b != a+1 {
+		t.Errorf("sequential mode allocated %d then %d", a, b)
+	}
+}
+
+func TestAllocContiguous(t *testing.T) {
+	m := New(Config{Pages: 64, Seed: 3})
+	frames, err := m.AllocContiguous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i] != frames[i-1]+1 {
+			t.Fatalf("frames %v not contiguous", frames)
+		}
+	}
+	// Those frames must no longer be allocatable.
+	got := make(map[Frame]bool)
+	for {
+		f, err := m.AllocFrame()
+		if err != nil {
+			break
+		}
+		got[f] = true
+	}
+	for _, f := range frames {
+		if got[f] {
+			t.Fatalf("contiguous frame %d handed out twice", f)
+		}
+	}
+}
+
+func TestAllocContiguousExhaustion(t *testing.T) {
+	m := New(Config{Pages: 8, Sequential: true})
+	// Allocate every other frame to break up all runs of 2+.
+	var held []Frame
+	for i := 0; i < 8; i++ {
+		f, _ := m.AllocFrame()
+		held = append(held, f)
+	}
+	for i, f := range held {
+		if i%2 == 0 {
+			m.FreeFrame(f)
+		}
+	}
+	if _, err := m.AllocContiguous(2); err == nil {
+		t.Error("AllocContiguous(2) succeeded with only isolated free frames")
+	}
+	if _, err := m.AllocContiguous(1); err != nil {
+		t.Errorf("AllocContiguous(1): %v", err)
+	}
+}
+
+func TestWireProtectsFromReclaim(t *testing.T) {
+	m := New(Config{Pages: 4})
+	f, _ := m.AllocFrame()
+	m.Write(m.FrameAddr(f), []byte("precious"))
+	m.Wire(f)
+	if err := m.Reclaim(f); err == nil {
+		t.Fatal("reclaimed a wired frame")
+	}
+	if string(m.Read(m.FrameAddr(f), 8)) != "precious" {
+		t.Fatal("wired frame contents damaged")
+	}
+	m.Unwire(f)
+	if err := m.Reclaim(f); err != nil {
+		t.Fatalf("reclaim of unwired frame failed: %v", err)
+	}
+	if string(m.Read(m.FrameAddr(f), 8)) == "precious" {
+		t.Fatal("reclaim did not scribble the frame")
+	}
+}
+
+func TestWireCountNests(t *testing.T) {
+	m := New(Config{Pages: 4})
+	f, _ := m.AllocFrame()
+	m.Wire(f)
+	m.Wire(f)
+	m.Unwire(f)
+	if !m.Wired(f) {
+		t.Error("frame unwired after one of two unwires")
+	}
+	m.Unwire(f)
+	if m.Wired(f) {
+		t.Error("frame still wired after balanced unwires")
+	}
+}
+
+func TestUnwireUnwiredPanics(t *testing.T) {
+	m := New(Config{Pages: 4})
+	f, _ := m.AllocFrame()
+	defer func() {
+		if recover() == nil {
+			t.Error("unwire of unwired frame did not panic")
+		}
+	}()
+	m.Unwire(f)
+}
+
+func TestFreeingWiredFramePanics(t *testing.T) {
+	m := New(Config{Pages: 4})
+	f, _ := m.AllocFrame()
+	m.Wire(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing wired frame did not panic")
+		}
+	}()
+	m.FreeFrame(f)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(Config{Pages: 4})
+	data := []byte{1, 2, 3, 4, 5}
+	m.Write(100, data)
+	if !bytes.Equal(m.Read(100, 5), data) {
+		t.Error("read != written")
+	}
+	var into [3]byte
+	m.ReadInto(101, into[:])
+	if !bytes.Equal(into[:], []byte{2, 3, 4}) {
+		t.Errorf("ReadInto got %v", into)
+	}
+}
+
+func TestWordAccess(t *testing.T) {
+	m := New(Config{Pages: 1})
+	m.WriteWord(8, 0xDEADBEEF)
+	if got := m.ReadWord(8); got != 0xDEADBEEF {
+		t.Errorf("ReadWord = %#x", got)
+	}
+	// Little-endian byte order.
+	if b := m.Read(8, 4); !bytes.Equal(b, []byte{0xEF, 0xBE, 0xAD, 0xDE}) {
+		t.Errorf("word bytes = %x", b)
+	}
+}
+
+func TestUnalignedWordPanics(t *testing.T) {
+	m := New(Config{Pages: 1})
+	for _, fn := range []func(){
+		func() { m.ReadWord(2) },
+		func() { m.WriteWord(6, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unaligned word access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New(Config{Pages: 1, PageSize: 4096})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds access did not panic")
+		}
+	}()
+	m.Read(4090, 100)
+}
+
+func TestWordRoundTripQuick(t *testing.T) {
+	m := New(Config{Pages: 1})
+	f := func(v uint32, slot uint8) bool {
+		a := PhysAddr(slot) * 4
+		m.WriteWord(a, v)
+		return m.ReadWord(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

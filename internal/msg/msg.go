@@ -1,0 +1,248 @@
+// Package msg provides the x-kernel style message abstraction: a chain
+// of buffer fragments supporting cheap header prepend/strip and
+// zero-copy splitting.
+//
+// Fragments are views onto simulated virtual memory, so a message built
+// by an application and passed down a protocol stack arrives at the
+// driver as the paper describes (§2.2): a small header fragment in one
+// buffer plus a data fragment whose pages are generally not physically
+// contiguous. The driver's PhysSegments is where the "physical buffer
+// proliferation" the paper analyses becomes visible.
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Fragment is one contiguous *virtual* extent of a message.
+type Fragment struct {
+	Space *mem.AddressSpace
+	VA    mem.VirtAddr
+	Len   int
+}
+
+// Message is a sequence of fragments. The zero value is an empty message.
+// Operations return new Message values sharing the underlying memory;
+// the bytes themselves are never copied by message manipulation.
+type Message struct {
+	frags []Fragment
+}
+
+// New builds a message from fragments (empty fragments are dropped).
+func New(frags ...Fragment) *Message {
+	m := &Message{}
+	for _, f := range frags {
+		if f.Len > 0 {
+			m.frags = append(m.frags, f)
+		}
+	}
+	return m
+}
+
+// FromBytes allocates fresh pages in space, copies data into them, and
+// returns a single-fragment message. The underlying frames come from the
+// fragmenting allocator, so multi-page messages are physically scattered.
+func FromBytes(space *mem.AddressSpace, data []byte) (*Message, error) {
+	if len(data) == 0 {
+		return New(), nil
+	}
+	va, err := space.Alloc(len(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := space.WriteVirt(va, data); err != nil {
+		return nil, err
+	}
+	return New(Fragment{Space: space, VA: va, Len: len(data)}), nil
+}
+
+// FromBytesContiguous allocates data in *physically contiguous* frames
+// on a best-effort basis — the OS support the paper reports
+// experimenting with for copy-free data paths (§2.2). When no
+// sufficiently long run of free frames exists it falls back to the
+// ordinary fragmenting allocation; the bool result reports which
+// happened.
+func FromBytesContiguous(space *mem.AddressSpace, data []byte) (*Message, bool, error) {
+	if len(data) == 0 {
+		return New(), true, nil
+	}
+	m := space.Memory()
+	pages := (len(data) + m.PageSize() - 1) / m.PageSize()
+	frames, err := m.AllocContiguous(pages)
+	if err != nil {
+		msg, ferr := FromBytes(space, data)
+		return msg, false, ferr
+	}
+	va, err := space.MapFrames(frames)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := space.WriteVirt(va, data); err != nil {
+		return nil, false, err
+	}
+	return New(Fragment{Space: space, VA: va, Len: len(data)}), true, nil
+}
+
+// FromBytesOffset is FromBytes but starts the data at the given byte
+// offset within its first page — the deliberately misaligned
+// application message of the §2.2 fragmentation analysis.
+func FromBytesOffset(space *mem.AddressSpace, data []byte, offset int) (*Message, error) {
+	if len(data) == 0 {
+		return New(), nil
+	}
+	va, err := space.AllocAligned(len(data), offset)
+	if err != nil {
+		return nil, err
+	}
+	if err := space.WriteVirt(va, data); err != nil {
+		return nil, err
+	}
+	return New(Fragment{Space: space, VA: va, Len: len(data)}), nil
+}
+
+// FromBytesAligned is FromBytes but places the data so that it *ends*
+// exactly at a page boundary — the §2.5.2 arrangement that lets every
+// non-final buffer of a PDU align with the page-boundary-stop DMA.
+func FromBytesAligned(space *mem.AddressSpace, data []byte) (*Message, error) {
+	if len(data) == 0 {
+		return New(), nil
+	}
+	ps := space.Memory().PageSize()
+	offset := (ps - len(data)%ps) % ps
+	va, err := space.AllocAligned(len(data), offset)
+	if err != nil {
+		return nil, err
+	}
+	if err := space.WriteVirt(va, data); err != nil {
+		return nil, err
+	}
+	return New(Fragment{Space: space, VA: va, Len: len(data)}), nil
+}
+
+// Len returns the total message length in bytes.
+func (m *Message) Len() int {
+	n := 0
+	for _, f := range m.frags {
+		n += f.Len
+	}
+	return n
+}
+
+// Fragments returns the fragment list (not a copy; callers must not
+// mutate it).
+func (m *Message) Fragments() []Fragment { return m.frags }
+
+// Prepend returns a new message with f in front — the x-kernel header
+// push operation.
+func (m *Message) Prepend(f Fragment) *Message {
+	if f.Len == 0 {
+		return m
+	}
+	out := &Message{frags: make([]Fragment, 0, len(m.frags)+1)}
+	out.frags = append(out.frags, f)
+	out.frags = append(out.frags, m.frags...)
+	return out
+}
+
+// Append returns the concatenation m ++ other.
+func (m *Message) Append(other *Message) *Message {
+	out := &Message{frags: make([]Fragment, 0, len(m.frags)+len(other.frags))}
+	out.frags = append(out.frags, m.frags...)
+	out.frags = append(out.frags, other.frags...)
+	return out
+}
+
+// Split returns the first n bytes and the remainder as two messages
+// sharing the underlying memory (used by IP fragmentation).
+func (m *Message) Split(n int) (head, tail *Message, err error) {
+	if n < 0 || n > m.Len() {
+		return nil, nil, fmt.Errorf("msg: split at %d of %d-byte message", n, m.Len())
+	}
+	head = &Message{}
+	tail = &Message{}
+	remaining := n
+	for _, f := range m.frags {
+		switch {
+		case remaining >= f.Len:
+			head.frags = append(head.frags, f)
+			remaining -= f.Len
+		case remaining > 0:
+			head.frags = append(head.frags, Fragment{Space: f.Space, VA: f.VA, Len: remaining})
+			tail.frags = append(tail.frags, Fragment{Space: f.Space, VA: f.VA + mem.VirtAddr(remaining), Len: f.Len - remaining})
+			remaining = 0
+		default:
+			tail.frags = append(tail.frags, f)
+		}
+	}
+	return head, tail, nil
+}
+
+// TrimPrefix returns the message with its first n bytes removed — the
+// x-kernel header strip operation.
+func (m *Message) TrimPrefix(n int) (*Message, error) {
+	_, tail, err := m.Split(n)
+	return tail, err
+}
+
+// Bytes gathers the full message contents (copying; used by test
+// verification and by explicitly-priced data-touching operations).
+func (m *Message) Bytes() ([]byte, error) {
+	out := make([]byte, 0, m.Len())
+	for _, f := range m.frags {
+		b, err := f.Space.ReadVirt(f.VA, f.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// PhysSegments decomposes the whole message into physically contiguous
+// buffers, fragment by fragment, merging across fragment boundaries when
+// the physical addresses happen to abut. Its length is the descriptor
+// count the driver must process for this PDU (§2.2).
+func (m *Message) PhysSegments() ([]mem.PhysBuffer, error) {
+	var segs []mem.PhysBuffer
+	for _, f := range m.frags {
+		fs, err := f.Space.PhysSegments(f.VA, f.Len)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range fs {
+			if len(segs) > 0 && segs[len(segs)-1].End() == s.Addr {
+				segs[len(segs)-1].Len += s.Len
+			} else {
+				segs = append(segs, s)
+			}
+		}
+	}
+	return segs, nil
+}
+
+// WireAll wires every page underlying the message (driver transmit path,
+// §2.4); UnwireAll reverses it.
+func (m *Message) WireAll() error {
+	for _, f := range m.frags {
+		if err := f.Space.WireRange(f.VA, f.Len); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnwireAll unwires every page underlying the message.
+func (m *Message) UnwireAll() error {
+	for _, f := range m.frags {
+		if err := f.Space.UnwireRange(f.VA, f.Len); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d frags, %d bytes}", len(m.frags), m.Len())
+}

@@ -1,0 +1,340 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/hostsim"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/xkernel"
+)
+
+// RDP is a reliable datagram protocol configured over IP — a go-back-N
+// sliding window with cumulative acknowledgements and a payload
+// checksum.
+//
+// It exists to demonstrate the x-kernel property the paper leans on
+// ("because the x-kernel supports arbitrary protocols, our approach is
+// protocol-independent; it is not tailored to TCP/IP", §1): RDP slots
+// into the same graph, runs over the same driver paths and VCIs, and
+// turns the simulated network's cell loss into retransmissions instead
+// of message loss.
+type RDP struct {
+	host  *hostsim.Host
+	ip    *IP
+	stats RDPStats
+}
+
+// RDPStats counts RDP activity.
+type RDPStats struct {
+	DataSent    int64
+	Retransmits int64
+	Timeouts    int64
+	AcksSent    int64
+	Delivered   int64
+	OutOfOrder  int64 // data segments discarded awaiting earlier ones
+	ChecksumErr int64
+	DupAcks     int64
+}
+
+// NewRDP returns an RDP instance over ip.
+func NewRDP(h *hostsim.Host, ip *IP) *RDP { return &RDP{host: h, ip: ip} }
+
+// Name implements xkernel.Protocol.
+func (r *RDP) Name() string { return "rdp" }
+
+// Stats returns a copy of the counters.
+func (r *RDP) Stats() RDPStats { return r.stats }
+
+// ProtoRDP is RDP's protocol number in the IP header.
+const ProtoRDP = 27
+
+// RDPHeaderSize is the segment header size.
+const RDPHeaderSize = 16
+
+// Segment types.
+const (
+	rdpData = 0
+	rdpAck  = 1
+)
+
+// RDPOpen addresses an RDP session.
+type RDPOpen struct {
+	Remote HostAddr
+	VCI    atm.VCI
+	// Window is the go-back-N send window in segments (default 8).
+	Window int
+	// RetransmitTimeout arms the sender's timer (default 2 ms — a few
+	// simulated round trips).
+	RetransmitTimeout time.Duration
+}
+
+// Open implements xkernel.Protocol.
+func (r *RDP) Open(addr any) (xkernel.Session, error) {
+	a, ok := addr.(RDPOpen)
+	if !ok {
+		return nil, fmt.Errorf("proto: rdp.Open wants RDPOpen, got %T", addr)
+	}
+	if a.Window == 0 {
+		a.Window = 8
+	}
+	if a.RetransmitTimeout == 0 {
+		a.RetransmitTimeout = 2 * time.Millisecond
+	}
+	lower, err := r.ip.Open(IPOpen{Remote: a.Remote, VCI: a.VCI, Proto: ProtoRDP})
+	if err != nil {
+		return nil, err
+	}
+	s := &rdpSession{
+		r:        r,
+		addr:     a,
+		lower:    lower,
+		unacked:  make(map[uint32][]byte),
+		notFull:  sim.NewCond(r.host.Eng),
+		acked:    sim.NewCond(r.host.Eng),
+		retxWork: sim.NewCond(r.host.Eng),
+	}
+	lower.SetHandler(s.demux)
+	r.host.Eng.Go(fmt.Sprintf("rdp-retx-vci%d", a.VCI), s.retransmitter)
+	return s, nil
+}
+
+type rdpSession struct {
+	r     *RDP
+	addr  RDPOpen
+	lower xkernel.Session
+	upper xkernel.Handler
+
+	// Sender state.
+	sendBase uint32 // oldest unacknowledged sequence number
+	nextSeq  uint32
+	unacked  map[uint32][]byte
+	timer    *sim.Event
+	notFull  *sim.Cond
+	acked    *sim.Cond
+	retxWork *sim.Cond
+	closed   bool
+
+	// Receiver state.
+	expected uint32
+}
+
+// SetHandler implements xkernel.Session.
+func (s *rdpSession) SetHandler(h xkernel.Handler) { s.upper = h }
+
+// Close implements xkernel.Session.
+func (s *rdpSession) Close() {
+	s.closed = true
+	s.cancelTimer()
+	s.lower.Close()
+}
+
+// Push sends one message reliably: it blocks while the window is full,
+// stores a retransmission copy, and returns once the segment is queued.
+// Use WaitAcked to drain the window.
+func (s *rdpSession) Push(p *sim.Proc, m *msg.Message) error {
+	for s.nextSeq-s.sendBase >= uint32(s.addr.Window) {
+		s.notFull.Wait(p)
+	}
+	data, err := m.Bytes()
+	if err != nil {
+		return err
+	}
+	// A reliable sender must hold the bytes until acknowledged; the copy
+	// is priced as CPU touch time.
+	s.r.host.Compute(p, s.r.host.Prof.Cycles((len(data)+3)/4))
+	seq := s.nextSeq
+	s.nextSeq++
+	s.unacked[seq] = data
+	s.r.stats.DataSent++
+	if err := s.sendSegment(p, rdpData, seq, data); err != nil {
+		return err
+	}
+	s.armTimer()
+	return nil
+}
+
+// WaitAcked blocks until every pushed message has been acknowledged.
+func (s *rdpSession) WaitAcked(p *sim.Proc) {
+	for s.sendBase != s.nextSeq {
+		s.acked.Wait(p)
+	}
+}
+
+// sendSegment builds the header (+ checksummed payload for data) and
+// pushes it through IP.
+func (s *rdpSession) sendSegment(p *sim.Proc, typ byte, seq uint32, payload []byte) error {
+	host := s.r.host
+	total := RDPHeaderSize + len(payload)
+	va, err := host.Kernel.Alloc(total)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, total)
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[4:], seq)
+	binary.BigEndian.PutUint32(buf[8:], s.expected) // piggybacked cumulative ack
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[RDPHeaderSize:], payload)
+	if typ == rdpData {
+		binary.BigEndian.PutUint16(buf[2:], hostsim.InternetChecksum(payload))
+	}
+	if err := writeThroughCache(host, host.Kernel, va, buf); err != nil {
+		return err
+	}
+	m := msg.New(msg.Fragment{Space: host.Kernel, VA: va, Len: total})
+	kernel := host.Kernel
+	return s.lower.(*ipSession).PushDone(p, m, func(p *sim.Proc) {
+		if err := kernel.Free(va, total); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func (s *rdpSession) armTimer() {
+	if s.timer != nil || s.sendBase == s.nextSeq {
+		return
+	}
+	eng := s.r.host.Eng
+	s.timer = eng.After(s.addr.RetransmitTimeout, func() {
+		s.timer = nil
+		if s.closed || s.sendBase == s.nextSeq {
+			return
+		}
+		s.r.stats.Timeouts++
+		s.retxWork.Broadcast()
+	})
+}
+
+func (s *rdpSession) cancelTimer() {
+	if s.timer != nil {
+		s.r.host.Eng.Cancel(s.timer)
+		s.timer = nil
+	}
+}
+
+// retransmitter is the session's timeout thread: on each timer firing it
+// resends the whole outstanding window (go-back-N).
+func (s *rdpSession) retransmitter(p *sim.Proc) {
+	for {
+		s.retxWork.Wait(p)
+		if s.closed {
+			return
+		}
+		for seq := s.sendBase; seq != s.nextSeq; seq++ {
+			data, ok := s.unacked[seq]
+			if !ok {
+				continue
+			}
+			s.r.stats.Retransmits++
+			if err := s.sendSegment(p, rdpData, seq, data); err != nil {
+				return
+			}
+		}
+		s.armTimer()
+	}
+}
+
+// demux handles an inbound segment from IP.
+func (s *rdpSession) demux(p *sim.Proc, m *msg.Message) {
+	if m.Len() < RDPHeaderSize {
+		return
+	}
+	hdr, err := readThroughCache(p, s.r.host, m, RDPHeaderSize)
+	if err != nil {
+		return
+	}
+	typ := hdr[0]
+	seq := binary.BigEndian.Uint32(hdr[4:])
+	ack := binary.BigEndian.Uint32(hdr[8:])
+	plen := binary.BigEndian.Uint32(hdr[12:])
+
+	// Cumulative acknowledgement processing (both segment types carry it).
+	s.processAck(ack)
+
+	if typ != rdpData {
+		return
+	}
+	if int(plen) != m.Len()-RDPHeaderSize {
+		return
+	}
+	payload, err := m.TrimPrefix(RDPHeaderSize)
+	if err != nil {
+		return
+	}
+	if seq != s.expected {
+		// Go-back-N: discard and re-acknowledge what we have.
+		s.r.stats.OutOfOrder++
+		s.sendAck(p)
+		return
+	}
+	// Verify the payload (through the cache, with lazy recovery).
+	segs, err := payload.PhysSegments()
+	if err != nil {
+		return
+	}
+	want := binary.BigEndian.Uint16(hdr[2:])
+	got := s.r.host.Checksum(p, segs)
+	if got != want {
+		recovered := false
+		if s.r.ip.Driver().RecoverData(p, m) {
+			recovered = s.r.host.Checksum(p, segs) == want
+		}
+		if !recovered {
+			s.r.stats.ChecksumErr++
+			s.sendAck(p) // still an implicit NAK for this segment
+			return
+		}
+	}
+	s.expected++
+	s.r.stats.Delivered++
+	if s.upper != nil {
+		s.upper(p, payload)
+	}
+	s.sendAck(p)
+}
+
+func (s *rdpSession) processAck(ack uint32) {
+	if ack == s.sendBase {
+		if s.sendBase != s.nextSeq {
+			s.r.stats.DupAcks++
+		}
+		return
+	}
+	// Window arithmetic is modular; only acks inside the outstanding
+	// window are meaningful (anything else is corrupt or stale).
+	if ack-s.sendBase > s.nextSeq-s.sendBase {
+		return
+	}
+	for s.sendBase != s.nextSeq && s.sendBase != ack {
+		delete(s.unacked, s.sendBase)
+		s.sendBase++
+	}
+	s.notFull.Broadcast()
+	s.acked.Broadcast()
+	s.cancelTimer()
+	s.armTimer()
+}
+
+func (s *rdpSession) sendAck(p *sim.Proc) {
+	s.r.stats.AcksSent++
+	if err := s.sendSegment(p, rdpAck, 0, nil); err != nil {
+		return
+	}
+}
+
+var (
+	_ xkernel.Protocol = (*RDP)(nil)
+	_ xkernel.Session  = (*rdpSession)(nil)
+)
+
+// WaitAckedSession lets callers drain an RDP session through the
+// xkernel.Session interface.
+type WaitAckedSession interface {
+	WaitAcked(p *sim.Proc)
+}
+
+var _ WaitAckedSession = (*rdpSession)(nil)

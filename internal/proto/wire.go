@@ -1,0 +1,58 @@
+package proto
+
+import (
+	"encoding/binary"
+
+	"repro/internal/hostsim"
+)
+
+// BuildUDPFragments constructs the on-the-wire IP fragments of one UDP
+// datagram, without any simulation state — used to program the board's
+// fictitious-PDU generator for the receive-side isolation experiments
+// (Figures 2 and 3), whose traffic must be real packets the host stack
+// can parse.
+func BuildUDPFragments(payload []byte, srcPort, dstPort uint16, src, dst HostAddr, mtu int, checksum bool, ident uint32) [][]byte {
+	var sum uint16
+	if checksum {
+		sum = hostsim.InternetChecksum(payload)
+		if sum == 0 {
+			sum = 0xFFFF
+		}
+	}
+	dgram := make([]byte, UDPHeaderSize+len(payload))
+	binary.BigEndian.PutUint16(dgram[0:], srcPort)
+	binary.BigEndian.PutUint16(dgram[2:], dstPort)
+	binary.BigEndian.PutUint32(dgram[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint16(dgram[8:], sum)
+	copy(dgram[UDPHeaderSize:], payload)
+
+	maxData := mtu - IPHeaderSize
+	var frags [][]byte
+	for off := 0; ; {
+		take := len(dgram) - off
+		if take > maxData {
+			take = maxData
+		}
+		mf := off+take < len(dgram)
+		frag := make([]byte, IPHeaderSize+take)
+		frag[0] = 0x45
+		frag[1] = ProtoUDP
+		frag[2] = byte(src)
+		frag[3] = byte(dst)
+		binary.BigEndian.PutUint32(frag[4:], uint32(take))
+		binary.BigEndian.PutUint32(frag[8:], ident)
+		binary.BigEndian.PutUint32(frag[12:], uint32(off))
+		if mf {
+			frag[16] = 1
+		}
+		frag[17] = 64
+		binary.BigEndian.PutUint16(frag[18:], hostsim.InternetChecksum(frag[:18]))
+		copy(frag[IPHeaderSize:], dgram[off:off+take])
+		frags = append(frags, frag)
+		off += take
+		if off >= len(dgram) {
+			break
+		}
+	}
+	return frags
+}

@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/dpm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// SpinRing is the ablation baseline: the same descriptor FIFO protected
+// by a spin lock built on the board's test-and-set register, the design
+// the paper rejects because "both packet delivery latency and CPU load
+// can suffer due to lock contention" (§2.1.1). Every operation acquires
+// the lock, reads both pointers from the dual-port memory, and releases
+// the lock — no shadow copies are possible because either side may
+// modify shared state under the lock.
+type SpinRing struct {
+	d     *dpm.Memory
+	reg   dpm.Register
+	base  uint32
+	slots uint32
+	// Stats.
+	SpinRetries int64 // failed test-and-set attempts
+}
+
+// SpinRetryDelay is how long a loser backs off before retrying the
+// test-and-set register.
+const SpinRetryDelay = 200 * time.Nanosecond
+
+// NewSpinRing lays a lock-protected ring over d at byte offset base,
+// guarded by register reg.
+func NewSpinRing(d *dpm.Memory, reg dpm.Register, base uint32, slots int) *SpinRing {
+	if slots < 2 {
+		panic("queue: ring needs at least 2 slots")
+	}
+	return &SpinRing{d: d, reg: reg, base: base, slots: uint32(slots)}
+}
+
+// Init zeroes head and tail.
+func (r *SpinRing) Init(p *sim.Proc, who dpm.Accessor) {
+	r.d.WriteWord(p, who, r.base, 0)
+	r.d.WriteWord(p, who, r.base+4, 0)
+}
+
+func (r *SpinRing) lock(p *sim.Proc, who dpm.Accessor) {
+	for r.d.TestAndSet(p, who, r.reg) {
+		r.SpinRetries++
+		p.Sleep(SpinRetryDelay)
+	}
+}
+
+func (r *SpinRing) unlock(p *sim.Proc, who dpm.Accessor) {
+	r.d.ClearLock(p, who, r.reg)
+}
+
+func (r *SpinRing) next(i uint32) uint32 { return (i + 1) % r.slots }
+
+func (r *SpinRing) slotOff(i uint32) uint32 { return r.base + 8 + 16*i }
+
+// TryPush appends d under the lock, reporting success.
+func (r *SpinRing) TryPush(p *sim.Proc, who dpm.Accessor, d Desc) bool {
+	r.lock(p, who)
+	defer r.unlock(p, who)
+	head := r.d.ReadWord(p, who, r.base)
+	tail := r.d.ReadWord(p, who, r.base+4)
+	if r.next(head) == tail {
+		return false
+	}
+	off := r.slotOff(head)
+	r.d.WriteWord(p, who, off, uint32(d.Addr))
+	r.d.WriteWord(p, who, off+4, d.Len)
+	r.d.WriteWord(p, who, off+8, uint32(d.VCI)<<16|uint32(d.Flags))
+	r.d.WriteWord(p, who, off+12, d.Aux)
+	r.d.WriteWord(p, who, r.base, r.next(head))
+	return true
+}
+
+// TryPop removes the oldest descriptor under the lock.
+func (r *SpinRing) TryPop(p *sim.Proc, who dpm.Accessor) (Desc, bool) {
+	r.lock(p, who)
+	defer r.unlock(p, who)
+	head := r.d.ReadWord(p, who, r.base)
+	tail := r.d.ReadWord(p, who, r.base+4)
+	if head == tail {
+		return Desc{}, false
+	}
+	off := r.slotOff(tail)
+	var d Desc
+	d.Addr = mem.PhysAddr(r.d.ReadWord(p, who, off))
+	d.Len = r.d.ReadWord(p, who, off+4)
+	vf := r.d.ReadWord(p, who, off+8)
+	d.VCI = atm.VCI(vf >> 16)
+	d.Flags = uint16(vf)
+	d.Aux = r.d.ReadWord(p, who, off+12)
+	r.d.WriteWord(p, who, r.base+4, r.next(tail))
+	return d, true
+}

@@ -1,0 +1,96 @@
+package sim
+
+// Chan is a bounded FIFO channel between simulated processes, the CSP
+// analog for the simulation world. Send blocks while the channel is full,
+// Recv blocks while it is empty. A capacity of zero is not supported
+// (rendezvous can be built from two capacity-1 channels when needed).
+type Chan[T any] struct {
+	eng      *Engine
+	buf      []T
+	capacity int
+	notEmpty *Cond
+	notFull  *Cond
+	closed   bool
+}
+
+// NewChan returns a channel with the given capacity (which must be
+// positive) bound to engine e.
+func NewChan[T any](e *Engine, capacity int) *Chan[T] {
+	if capacity <= 0 {
+		panic("sim: channel capacity must be positive")
+	}
+	return &Chan[T]{
+		eng:      e,
+		capacity: capacity,
+		notEmpty: NewCond(e),
+		notFull:  NewCond(e),
+	}
+}
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the channel capacity.
+func (c *Chan[T]) Cap() int { return c.capacity }
+
+// Full reports whether a Send would block.
+func (c *Chan[T]) Full() bool { return len(c.buf) >= c.capacity }
+
+// Empty reports whether a Recv would block.
+func (c *Chan[T]) Empty() bool { return len(c.buf) == 0 }
+
+// Send enqueues v, blocking p while the channel is full.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	for c.Full() {
+		c.notFull.Wait(p)
+	}
+	c.buf = append(c.buf, v)
+	c.notEmpty.Signal()
+}
+
+// TrySend enqueues v if there is room and reports whether it did.
+// It never blocks and may be called from event callbacks as well as procs.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.Full() {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.notEmpty.Signal()
+	return true
+}
+
+// Recv dequeues the oldest item, blocking p while the channel is empty.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for c.Empty() {
+		c.notEmpty.Wait(p)
+	}
+	v := c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	c.notFull.Signal()
+	return v
+}
+
+// TryRecv dequeues the oldest item if one is buffered. It never blocks
+// and may be called from event callbacks as well as procs.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if c.Empty() {
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	c.notFull.Signal()
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (c *Chan[T]) Peek() (T, bool) {
+	var zero T
+	if c.Empty() {
+		return zero, false
+	}
+	return c.buf[0], true
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCondSignalWakesOne(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		c.Signal()
+	})
+	e.Run()
+	if woke != 1 {
+		t.Errorf("woke = %d, want 1", woke)
+	}
+	if c.Waiting() != 2 {
+		t.Errorf("Waiting = %d, want 2", c.Waiting())
+	}
+	e.Shutdown()
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go("waiter", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		c.Broadcast()
+	})
+	e.Run()
+	e.Shutdown()
+	if woke != 5 {
+		t.Errorf("woke = %d, want 5", woke)
+	}
+	if c.Waiting() != 0 {
+		t.Errorf("Waiting = %d, want 0", c.Waiting())
+	}
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			// Stagger arrival so waiter order is known.
+			p.Sleep(time.Duration(i) * time.Nanosecond)
+			c.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Go("s", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		c.Signal()
+		c.Signal()
+		c.Signal()
+	})
+	e.Run()
+	e.Shutdown()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestCondSignalWithoutWaitersIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	c.Signal()
+	c.Broadcast()
+	if c.Waiting() != 0 {
+		t.Error("Waiting != 0")
+	}
+}
+
+func TestCondMonitorPattern(t *testing.T) {
+	// The classic predicate-loop use: a consumer waits for a queue to be
+	// non-empty; spurious wakeups (broadcast with nothing queued) must be
+	// harmless because of the re-check loop.
+	e := NewEngine(1)
+	c := NewCond(e)
+	var queue []int
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			for len(queue) == 0 {
+				c.Wait(p)
+			}
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+	})
+	e.Go("noise", func(p *Proc) {
+		p.Sleep(time.Nanosecond)
+		c.Broadcast() // spurious: queue still empty
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(time.Microsecond)
+			queue = append(queue, i)
+			c.Signal()
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got = %v, want [1 2 3]", got)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+type procState int
+
+const (
+	procNew procState = iota
+	procBlocked
+	procRunnable
+	procRunning
+	procDone
+)
+
+// killedError is the panic value used to unwind a Proc when the engine
+// shuts down while the proc is blocked.
+type killedError struct{ name string }
+
+func (k killedError) Error() string { return "sim: proc " + k.name + " killed at shutdown" }
+
+// Proc is a simulated sequential process. Its body runs on a dedicated
+// goroutine, but the engine enforces strict handoff: the body executes
+// only while the engine is blocked waiting for it to yield (by sleeping,
+// waiting on a Cond, or returning), so at most one proc runs at a time
+// and execution order is fully determined by the event queue.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resumeCh chan struct{}
+	yieldCh  chan struct{}
+	state    procState
+	killed   bool
+	panicVal any // non-nil if the body panicked; re-raised on the engine goroutine
+}
+
+// Go spawns a simulated process whose body is fn. The body starts at the
+// current virtual time (it is scheduled through the event queue like any
+// other event). The returned Proc may be passed to blocking primitives
+// only from within fn itself.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:      e,
+		name:     name,
+		resumeCh: make(chan struct{}),
+		yieldCh:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go p.run(fn)
+	e.At(e.now, func() { p.resume() })
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.resumeCh // wait for the start event
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); !ok {
+				// Stash the panic; resume() re-raises it on the engine's
+				// goroutine so the failure surfaces in the caller's stack
+				// rather than aborting the process from a detached
+				// goroutine.
+				p.panicVal = r
+			}
+		}
+		p.state = procDone
+		p.yieldCh <- struct{}{}
+	}()
+	p.state = procRunning
+	fn(p)
+}
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// resume hands control to the proc and waits until it yields or finishes.
+// Called only from engine context (event callbacks).
+func (p *Proc) resume() {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resumeCh <- struct{}{}
+	<-p.yieldCh
+	if p.panicVal != nil {
+		v := p.panicVal
+		p.panicVal = nil
+		panic(v)
+	}
+}
+
+// block yields control back to the engine and waits to be resumed.
+// Called only from proc context.
+func (p *Proc) block() {
+	p.state = procBlocked
+	p.yieldCh <- struct{}{}
+	<-p.resumeCh
+	if p.killed {
+		panic(killedError{p.name})
+	}
+	p.state = procRunning
+}
+
+// Sleep suspends the proc for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: proc %s: negative sleep %v", p.name, d))
+	}
+	if d == 0 {
+		// Still go through the event queue so a zero-length sleep is a
+		// scheduling point, matching the behaviour callers expect.
+		p.eng.At(p.eng.now, func() { p.resume() })
+		p.block()
+		return
+	}
+	p.eng.After(d, func() { p.resume() })
+	p.block()
+}
+
+// SleepUntil suspends the proc until instant t (a no-op scheduling point
+// if t is not after the current time).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.eng.At(t, func() { p.resume() })
+	p.block()
+}
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestProcSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	e.Shutdown()
+	if woke != Time(10*time.Microsecond) {
+		t.Errorf("woke at %v, want 10µs", woke)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	e := NewEngine(1)
+	var marks []Time
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100 * time.Nanosecond)
+			marks = append(marks, p.Now())
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(1)
+		var log []string
+		e.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(100 * time.Nanosecond)
+				log = append(log, fmt.Sprintf("a%d@%d", i, p.Now()))
+			}
+		})
+		e.Go("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Sleep(150 * time.Nanosecond)
+				log = append(log, fmt.Sprintf("b%d@%d", i, p.Now()))
+			}
+		})
+		e.Run()
+		e.Shutdown()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("non-deterministic interleaving (length)")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("non-deterministic interleaving: run0=%v runN=%v", first, again)
+			}
+		}
+	}
+}
+
+func TestZeroSleepIsSchedulingPoint(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	e.Shutdown()
+	// a starts first (spawned first), yields at Sleep(0), b runs, then a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeSleepPanicsThroughRun(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("p", func(p *Proc) { p.Sleep(-1) })
+	defer func() {
+		if recover() == nil {
+			t.Error("negative sleep did not propagate a panic out of Run")
+		}
+	}()
+	e.Run()
+}
+
+func TestProcPanicPropagatesToEngine(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("p", func(p *Proc) {
+		p.Sleep(time.Nanosecond)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestSleepUntilPastIsImmediate(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Go("p", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		p.SleepUntil(0) // in the past: just a scheduling point
+		woke = p.Now()
+	})
+	e.Run()
+	e.Shutdown()
+	if woke != Time(time.Microsecond) {
+		t.Errorf("woke at %v, want 1µs", woke)
+	}
+}
+
+func TestProcDone(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Go("p", func(p *Proc) { p.Sleep(time.Nanosecond) })
+	if p.Done() {
+		t.Error("proc done before running")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Error("proc not done after body returned")
+	}
+	e.Shutdown()
+}
+
+func TestShutdownUnblocksSleepingProc(t *testing.T) {
+	e := NewEngine(1)
+	cond := NewCond(e)
+	reached := false
+	e.Go("stuck", func(p *Proc) {
+		cond.Wait(p) // nobody will ever signal
+		reached = true
+	})
+	e.Run()
+	e.Shutdown() // must not hang
+	if reached {
+		t.Error("killed proc continued past Wait")
+	}
+}
+
+func TestShutdownTwiceIsSafe(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("p", func(p *Proc) {})
+	e.Run()
+	e.Shutdown()
+	e.Shutdown()
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var childRan Time
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(time.Microsecond)
+			childRan = c.Now()
+		})
+	})
+	e.Run()
+	e.Shutdown()
+	if childRan != Time(2*time.Microsecond) {
+		t.Errorf("child finished at %v, want 2µs", childRan)
+	}
+}
+
+func TestProcName(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Go("worker-7", func(p *Proc) {})
+	if p.Name() != "worker-7" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Engine() != e {
+		t.Error("Engine() mismatch")
+	}
+	e.Run()
+	e.Shutdown()
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// (time, insertion sequence). Sequential activities — the OSIRIS board's
+// on-board processors, host interrupt handlers, driver threads — run as
+// Procs: goroutines that execute in strict handoff with the engine, so
+// exactly one of them is runnable at any instant and every run of a
+// simulation is bit-for-bit reproducible.
+//
+// Virtual time is measured in integer nanoseconds (type Time); durations
+// use the standard time.Duration, which has the same resolution.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Microseconds returns t expressed in microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once fired or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancel }
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	procs   []*Proc
+	rng     *rand.Rand
+	stopped bool
+	limit   Time // 0 means no limit
+	tracer  func(t Time, format string, args ...any)
+	running bool
+}
+
+// NewEngine returns an engine with its virtual clock at zero and its
+// pseudo-random source seeded with seed (simulation components that need
+// randomness must draw from Engine.Rand for runs to be reproducible).
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic pseudo-random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer installs a trace callback invoked by Tracef. A nil tracer
+// disables tracing.
+func (e *Engine) SetTracer(fn func(t Time, format string, args ...any)) { e.tracer = fn }
+
+// Tracing reports whether a tracer is installed — hot paths use it to
+// skip argument construction entirely.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Tracef emits a trace record at the current virtual time if a tracer is
+// installed.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.tracer != nil {
+		e.tracer(e.now, format, args...)
+	}
+}
+
+// At schedules fn to run at instant t, which must not be in the virtual
+// past. It returns the event so the caller may cancel it.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.pq, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, Stop is called,
+// or the time limit set by RunUntil-style callers is reached. It returns
+// the virtual time at which the simulation went quiescent.
+//
+// Procs that remain blocked on conditions when the queue drains do not
+// keep the simulation alive: with no pending events nothing can ever wake
+// them, so the run is quiescent.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if e.limit != 0 && ev.at > e.limit {
+			// Past the horizon: put it back and stop.
+			heap.Push(&e.pq, ev)
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	e.stopped = false
+	return e.now
+}
+
+// RunFor runs the simulation until the virtual clock would pass now+d;
+// events scheduled later stay queued. It returns the time reached.
+func (e *Engine) RunFor(d time.Duration) Time {
+	return e.RunUntil(e.now.Add(d))
+}
+
+// RunUntil runs the simulation until the virtual clock would pass t;
+// events scheduled after t remain queued and the clock is advanced to t.
+func (e *Engine) RunUntil(t Time) Time {
+	prev := e.limit
+	e.limit = t
+	e.Run()
+	e.limit = prev
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// Pending reports the number of events in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Shutdown terminates all live Procs so their goroutines exit. The engine
+// must not be running. After Shutdown the engine can still schedule plain
+// events but all procs are gone. It is safe to call multiple times.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown during Run")
+	}
+	for _, p := range e.procs {
+		if p.state == procDone {
+			continue
+		}
+		p.killed = true
+		p.resumeCh <- struct{}{}
+		<-p.yieldCh
+	}
+	e.procs = nil
+}

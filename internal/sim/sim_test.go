@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(12345, func() { at = e.Now() })
+	end := e.Run()
+	if at != 12345 {
+		t.Errorf("event saw clock %v, want 12345", at)
+	}
+	if end != 12345 {
+		t.Errorf("Run returned %v, want 12345", end)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(1000, func() {
+		e.After(500*time.Nanosecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 1500 {
+		t.Errorf("After event fired at %v, want 1500", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(100, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(200, func() { fired = true })
+	e.At(100, func() { e.Cancel(ev) })
+	e.Run()
+	if fired {
+		t.Error("event cancelled at t=100 still fired at t=200")
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	e.Run()
+	e.Cancel(ev) // must not panic
+	if ev.Cancelled() {
+		t.Error("fired event reported as cancelled")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(10, func() { count++; e.Stop() })
+	e.At(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("events run = %d, want 1 (Stop should halt)", count)
+	}
+	// The queue still holds the t=20 event; a second Run drains it.
+	e.Run()
+	if count != 2 {
+		t.Fatalf("events after resume = %d, want 2", count)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(100, func() { fired = append(fired, e.Now()) })
+	e.At(300, func() { fired = append(fired, e.Now()) })
+	got := e.RunUntil(200)
+	if got != 200 {
+		t.Errorf("RunUntil returned %v, want 200", got)
+	}
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Errorf("fired = %v, want [100]", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != 300 {
+		t.Errorf("after full Run fired = %v, want [100 300]", fired)
+	}
+}
+
+func TestRunForAdvancesClockEvenWithoutEvents(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(5 * time.Microsecond)
+	if e.Now() != Time(5*time.Microsecond) {
+		t.Errorf("clock = %v, want 5µs", e.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var tm Time = 1500
+	if tm.Add(500*time.Nanosecond) != 2000 {
+		t.Error("Add wrong")
+	}
+	if tm.Sub(500) != 1000*time.Nanosecond {
+		t.Error("Sub wrong")
+	}
+	if Time(2e9).Seconds() != 2.0 {
+		t.Error("Seconds wrong")
+	}
+	if Time(2500).Microseconds() != 2.5 {
+		t.Error("Microseconds wrong")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42).Rand().Int63()
+	b := NewEngine(42).Rand().Int63()
+	if a != b {
+		t.Error("same seed produced different random streams")
+	}
+	c := NewEngine(43).Rand().Int63()
+	if a == c {
+		t.Error("different seeds produced identical first values (suspicious)")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.SetTracer(func(_ Time, format string, _ ...any) { got = append(got, format) })
+	e.At(10, func() { e.Tracef("hello %d") })
+	e.Run()
+	if len(got) != 1 || got[0] != "hello %d" {
+		t.Errorf("tracer got %v", got)
+	}
+	e.SetTracer(nil)
+	e.Tracef("ignored") // must not panic
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event that schedules more events at the same time: they run
+	// after previously scheduled same-time events.
+	e := NewEngine(1)
+	var order []string
+	e.At(10, func() {
+		order = append(order, "a")
+		e.At(10, func() { order = append(order, "c") })
+	})
+	e.At(10, func() { order = append(order, "b") })
+	e.Run()
+	want := "abc"
+	var s string
+	for _, x := range order {
+		s += x
+	}
+	if s != want {
+		t.Errorf("order = %q, want %q", s, want)
+	}
+}
+
+func TestCancelInsideCallback(t *testing.T) {
+	// An event callback cancelling another pending event (the RDP timer
+	// pattern) must be safe even when both fire at the same instant.
+	e := NewEngine(1)
+	var b *Event
+	bFired := false
+	e.At(100, func() { e.Cancel(b) })
+	b = e.At(100, func() { bFired = true })
+	e.Run()
+	if bFired {
+		t.Error("same-instant cancelled event still fired")
+	}
+}
+
+func TestCancelSelfIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	var self *Event
+	ran := false
+	self = e.At(10, func() {
+		ran = true
+		e.Cancel(self) // already firing: index is -1, must be a no-op
+	})
+	e.Run()
+	if !ran {
+		t.Error("event did not run")
+	}
+}
+
+func TestRunUntilZeroHorizonRunsNothing(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.At(10, func() { fired = true })
+	e.RunUntil(5)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want 5", e.Now())
+	}
+	e.Run()
+	if !fired {
+		t.Error("event lost after horizon run")
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats provides measurement helpers and text renderers for the
+// reproduction's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Mbps converts a byte count over a duration to megabits per second.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64 // message size in bytes
+	Y    []float64 // Mbps (or µs for latency series)
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table is a simple text table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render lays the table out with aligned columns.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	total := len(t.Cols)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// RenderFigure draws an ASCII chart of the series (log2 x-axis, linear
+// y), followed by the exact values — the paper's figures as text.
+func RenderFigure(title, xlabel, ylabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	const w, h = 64, 16
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY == 0 {
+		return title + " (no data)\n"
+	}
+	lx := func(x float64) float64 { return math.Log2(math.Max(x, 1)) }
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	marks := []byte("*+xo#@")
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			fx := 0.0
+			if lx(maxX) > lx(minX) {
+				fx = (lx(s.X[i]) - lx(minX)) / (lx(maxX) - lx(minX))
+			}
+			fy := s.Y[i] / maxY
+			col := int(fx * float64(w-1))
+			row := h - 1 - int(fy*float64(h-1))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%8.0f |%s\n", maxY, string(grid[0]))
+	for i := 1; i < h; i++ {
+		fmt.Fprintf(&b, "%8s |%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "0", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-10.0f%*s\n", "", minX, w-10, fmt.Sprintf("%.0f", maxX))
+	fmt.Fprintf(&b, "          x: %s   y: %s\n", xlabel, ylabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  [%c] %s\n", marks[si%len(marks)], s.Name)
+	}
+	// Exact values.
+	cols := []string{xlabel}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	tab := Table{Cols: cols}
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var sorted []float64
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%.0f", x)}
+		for _, s := range series {
+			val := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					val = fmt.Sprintf("%.1f", s.Y[i])
+				}
+			}
+			row = append(row, val)
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.Render())
+	return b.String()
+}
+
+// Summary holds simple aggregate statistics.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+}
+
+// Summarize computes aggregates over vs.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vs), Min: vs[0], Max: vs[0]}
+	total := 0.0
+	for _, v := range vs {
+		total += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = total / float64(len(vs))
+	return s
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func TestRecorderParsesCategories(t *testing.T) {
+	r := NewRecorder(16)
+	hook := r.Hook()
+	hook(100, "cell: tx vci=%d", 5)
+	hook(200, "no category here")
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Cat != "cell" || evs[0].Msg != "tx vci=5" || evs[0].At != 100 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Cat != "misc" {
+		t.Errorf("event 1 cat = %q", evs[1].Cat)
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(16)
+	r.Filter("irq", "drop")
+	hook := r.Hook()
+	hook(1, "cell: noisy")
+	hook(2, "irq: important")
+	hook(3, "drop: also important")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Filtered() != 1 {
+		t.Errorf("Filtered = %d", r.Filtered())
+	}
+	r.Filter() // reset to everything
+	hook(4, "cell: now kept")
+	if r.Len() != 3 {
+		t.Errorf("len after reset = %d", r.Len())
+	}
+}
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := NewRecorder(4)
+	hook := r.Hook()
+	for i := 0; i < 10; i++ {
+		hook(sim.Time(i), "pdu: n=%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	// Oldest retained is event 6.
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Errorf("ring window wrong: %v..%v", evs[0].At, evs[3].At)
+	}
+}
+
+func TestRecorderDumpAndCounts(t *testing.T) {
+	r := NewRecorder(8)
+	hook := r.Hook()
+	hook(1500, "irq: rx ch0")
+	hook(2500, "irq: rx ch1")
+	hook(3500, "drop: lost")
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[irq") || !strings.Contains(out, "rx ch0") {
+		t.Errorf("dump:\n%s", out)
+	}
+	counts := r.Counts()
+	if counts["irq"] != 2 || counts["drop"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestEndToEndTraceCapture(t *testing.T) {
+	// Attach a recorder to a real transfer and verify the instrumented
+	// components produced the expected categories.
+	tb := core.NewTestbed(core.Options{
+		Profile: hostsim.DEC3000_600(),
+		Driver:  driver.Config{Cache: driver.CacheNone},
+	})
+	defer tb.Shutdown()
+	rec := NewRecorder(100_000)
+	tb.Eng.SetTracer(rec.Hook())
+
+	tx, err := tb.A.Raw.Open(proto.RawOpen{VCI: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := tb.B.Raw.Open(proto.RawOpen{VCI: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := false
+	rx.SetHandler(func(p *sim.Proc, m *msg.Message) { got = true })
+	tb.Eng.Go("send", func(p *sim.Proc) {
+		m, _ := msg.FromBytes(tb.A.Host.Kernel, make([]byte, 3000))
+		tx.Push(p, m)
+		tb.A.Drv.Flush(p)
+	})
+	tb.Eng.RunUntil(tb.Eng.Now().Add(50 * time.Millisecond))
+	if !got {
+		t.Fatal("message lost")
+	}
+	counts := rec.Counts()
+	if counts["cell"] != int(atm.CellsFor(3000)) {
+		t.Errorf("cell events = %d, want %d", counts["cell"], atm.CellsFor(3000))
+	}
+	if counts["pdu"] < 3 { // tx start + rx complete + driver deliver
+		t.Errorf("pdu events = %d", counts["pdu"])
+	}
+	if counts["irq"] != 1 {
+		t.Errorf("irq events = %d, want 1", counts["irq"])
+	}
+	_ = board.RxIRQBase
+}
+
+func TestTracingDisabledIsFree(t *testing.T) {
+	// Without a tracer, Tracing() gates every instrumented site.
+	e := sim.NewEngine(1)
+	if e.Tracing() {
+		t.Error("fresh engine claims tracing")
+	}
+	e.SetTracer(func(sim.Time, string, ...any) {})
+	if !e.Tracing() {
+		t.Error("tracer installed but Tracing() false")
+	}
+	e.SetTracer(nil)
+	if e.Tracing() {
+		t.Error("tracer cleared but Tracing() true")
+	}
+}

@@ -1,0 +1,53 @@
+// Package workload provides the message-size sweeps and traffic
+// patterns used by the benchmark harness, matching the paper's
+// evaluation parameters (§4).
+package workload
+
+// Table1Sizes are the message sizes of Table 1.
+func Table1Sizes() []int { return []int{1, 1024, 2048, 4096} }
+
+// FigureSizes are the throughput figures' x-axis: 1 KB to 256 KB,
+// doubling.
+func FigureSizes() []int {
+	var out []int
+	for s := 1024; s <= 256*1024; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Doubling returns a doubling ladder from lo to hi inclusive.
+func Doubling(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Payload builds a deterministic test payload of n bytes; distinct
+// seeds give distinct contents so cross-message corruption is
+// detectable.
+func Payload(n int, seed byte) []byte {
+	out := make([]byte, n)
+	x := uint32(seed)*2654435761 + 1
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = byte(x >> 24)
+	}
+	return out
+}
+
+// PriorityMix describes the §3.1 overload experiment: a high- and a
+// low-priority stream contending for receive resources.
+type PriorityMix struct {
+	HighPriority int
+	LowPriority  int
+	MessageBytes int
+	Messages     int // per stream
+}
+
+// DefaultPriorityMix is the configuration used by the example and bench.
+func DefaultPriorityMix() PriorityMix {
+	return PriorityMix{HighPriority: 10, LowPriority: 1, MessageBytes: 4096, Messages: 8}
+}

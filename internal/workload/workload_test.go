@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+func TestTable1Sizes(t *testing.T) {
+	got := Table1Sizes()
+	want := []int{1, 1024, 2048, 4096}
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes = %v", got)
+		}
+	}
+}
+
+func TestFigureSizes(t *testing.T) {
+	got := FigureSizes()
+	if got[0] != 1024 || got[len(got)-1] != 256*1024 {
+		t.Errorf("figure sizes = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]*2 {
+			t.Errorf("not doubling: %v", got)
+		}
+	}
+}
+
+func TestDoubling(t *testing.T) {
+	got := Doubling(8, 64)
+	want := []int{8, 16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Doubling = %v", got)
+		}
+	}
+}
+
+func TestPayloadDeterministicAndDistinct(t *testing.T) {
+	a := Payload(1000, 1)
+	b := Payload(1000, 1)
+	c := Payload(1000, 2)
+	if string(a) != string(b) {
+		t.Error("same seed differs")
+	}
+	if string(a) == string(c) {
+		t.Error("different seeds identical")
+	}
+	if len(Payload(0, 1)) != 0 {
+		t.Error("zero-length payload")
+	}
+}
+
+func TestDefaultPriorityMix(t *testing.T) {
+	m := DefaultPriorityMix()
+	if m.HighPriority <= m.LowPriority {
+		t.Error("priorities inverted")
+	}
+	if m.MessageBytes == 0 || m.Messages == 0 {
+		t.Error("empty mix")
+	}
+}

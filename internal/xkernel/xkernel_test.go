@@ -1,0 +1,102 @@
+package xkernel
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// fakeProto is a minimal in-memory protocol for framework tests: a
+// session's Push loops straight back up through its handler.
+type fakeProto struct{ name string }
+
+func (f *fakeProto) Name() string { return f.name }
+
+func (f *fakeProto) Open(addr any) (Session, error) {
+	return &fakeSession{}, nil
+}
+
+type fakeSession struct {
+	h      Handler
+	pushed int
+	closed bool
+}
+
+func (s *fakeSession) Push(p *sim.Proc, m *msg.Message) error {
+	s.pushed++
+	if s.h != nil {
+		s.h(p, m)
+	}
+	return nil
+}
+func (s *fakeSession) SetHandler(h Handler) { s.h = h }
+func (s *fakeSession) Close()               { s.closed = true }
+
+func TestGraphRegisterLookup(t *testing.T) {
+	g := NewGraph("kernel")
+	g.Register(&fakeProto{name: "a"})
+	g.Register(&fakeProto{name: "b"})
+	if g.Domain() != "kernel" {
+		t.Errorf("Domain = %q", g.Domain())
+	}
+	pr, err := g.Lookup("a")
+	if err != nil || pr.Name() != "a" {
+		t.Errorf("Lookup(a) = %v, %v", pr, err)
+	}
+	if _, err := g.Lookup("zzz"); err == nil {
+		t.Error("lookup of missing protocol succeeded")
+	}
+	if n := len(g.Protocols()); n != 2 {
+		t.Errorf("Protocols = %d", n)
+	}
+}
+
+func TestGraphDuplicatePanics(t *testing.T) {
+	g := NewGraph("d")
+	g.Register(&fakeProto{name: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	g.Register(&fakeProto{name: "x"})
+}
+
+func TestSessionLoopback(t *testing.T) {
+	g := NewGraph("d")
+	g.Register(&fakeProto{name: "loop"})
+	pr, _ := g.Lookup("loop")
+	s, err := pr.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	s.SetHandler(func(p *sim.Proc, m *msg.Message) { seen++ })
+	e := sim.NewEngine(1)
+	e.Go("t", func(p *sim.Proc) {
+		s.Push(p, msg.New())
+		s.Push(p, msg.New())
+	})
+	e.Run()
+	e.Shutdown()
+	if seen != 2 {
+		t.Errorf("handler saw %d", seen)
+	}
+	s.Close()
+	if !s.(*fakeSession).closed {
+		t.Error("Close did not propagate")
+	}
+}
+
+// Graphs in separate domains are independent — the "replicated
+// application-linked protocol stack" property (§3.2).
+func TestIndependentDomainGraphs(t *testing.T) {
+	kernel := NewGraph("kernel")
+	app := NewGraph("app")
+	kernel.Register(&fakeProto{name: "udp"})
+	if _, err := app.Lookup("udp"); err == nil {
+		t.Error("app graph sees kernel protocols")
+	}
+	app.Register(&fakeProto{name: "udp"}) // no conflict across domains
+}
