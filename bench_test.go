@@ -952,3 +952,53 @@ func BenchmarkInterruptDiscipline(b *testing.B) {
 		b.ReportMetric(v, "sim-Mbps")
 	})
 }
+
+// BenchmarkFanInThroughput exercises the N-node generalization: eight
+// clients converge on one server through the VCI-routed cell switch.
+// The paced variant staggers bursts under the server's receive ceiling
+// and must deliver every payload byte-for-byte intact; the overload
+// variant runs all clients at full rate into one 622 Mbps egress port
+// and reports the resulting switch-queue drops alongside the surviving
+// goodput.
+func BenchmarkFanInThroughput(b *testing.B) {
+	b.Run("8-clients-paced", func(b *testing.B) {
+		var res *core.FanInResult
+		for i := 0; i < b.N; i++ {
+			w := workload.DefaultFanIn()
+			cl := core.NewCluster(core.Options{}, w.Clients+1)
+			var err error
+			res, err = cl.RunFanIn(w)
+			cl.Shutdown()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Delivered != res.Sent || res.Corrupt != 0 || res.SwitchDropped != 0 {
+				b.Fatalf("paced fan-in not lossless: %d/%d delivered, %d corrupt, %d drops",
+					res.Delivered, res.Sent, res.Corrupt, res.SwitchDropped)
+			}
+		}
+		b.ReportMetric(res.AggregateMbps, "sim-Mbps")
+		b.ReportMetric(float64(res.Delivered), "messages")
+		b.ReportMetric(res.Clients[0].Mbps, "per-client-Mbps")
+	})
+	b.Run("8-clients-overload", func(b *testing.B) {
+		var res *core.FanInResult
+		for i := 0; i < b.N; i++ {
+			w := workload.DefaultFanIn()
+			var err error
+			res, err = core.RunFanIn(core.Options{}, w.Clients, w.MessageBytes, w.Messages)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.SwitchDropped == 0 {
+				b.Fatal("overload recorded no switch drops")
+			}
+			if res.Corrupt != 0 {
+				b.Fatalf("overload corrupted %d deliveries", res.Corrupt)
+			}
+		}
+		b.ReportMetric(res.AggregateMbps, "sim-Mbps")
+		b.ReportMetric(float64(res.Delivered), "messages")
+		b.ReportMetric(float64(res.SwitchDropped), "switch-drops")
+	})
+}

@@ -130,7 +130,12 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	l.stats.Sent++
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a snapshot of the counters, by value. The snapshot is
+// only coherent between engine steps: read it after Engine.Run (or
+// RunUntil) has returned, after Shutdown, or from within a single
+// proc/event step. Reading it while the engine is mid-Run from outside
+// the simulation can observe a cell counted as Sent but not yet
+// Delivered or Lost. After Shutdown the counters are final and stable.
 func (l *Link) Stats() LinkStats { return l.stats }
 
 func (l *Link) pace(p *sim.Proc) {
@@ -183,6 +188,27 @@ func (g *StripeGroup) Width() int { return len(g.links) }
 
 // Link returns the i-th physical link.
 func (g *StripeGroup) Link(i int) *Link { return g.links[i] }
+
+// Links returns the physical links in stripe order (a fresh slice; the
+// caller may keep it).
+func (g *StripeGroup) Links() []*Link {
+	out := make([]*Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// Stats sums the per-link counters. The snapshot discipline of
+// Link.Stats applies.
+func (g *StripeGroup) Stats() LinkStats {
+	var s LinkStats
+	for _, l := range g.links {
+		ls := l.Stats()
+		s.Sent += ls.Sent
+		s.Delivered += ls.Delivered
+		s.Lost += ls.Lost
+	}
+	return s
+}
 
 // SetReceiver installs the delivery callback on every link.
 func (g *StripeGroup) SetReceiver(fn func(c Cell, link int)) {

@@ -217,3 +217,33 @@ func TestSkewModels(t *testing.T) {
 		t.Error("zero-max QueueingSkew delayed")
 	}
 }
+
+func TestLinkStatsStableAfterShutdown(t *testing.T) {
+	// Satellite of the snapshot-discipline doc: after Shutdown the
+	// counters are final — repeated reads agree and account for every
+	// cell (Sent == Delivered + Lost with no loss model).
+	e := sim.NewEngine(1)
+	g := NewStripeGroup(e, 4, LinkConfig{})
+	g.SetReceiver(func(Cell, int) {})
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			g.Send(p, Cell{Len: CellPayload})
+		}
+	})
+	e.Run()
+	e.Shutdown()
+	s1 := g.Stats()
+	s2 := g.Stats()
+	if s1 != s2 {
+		t.Errorf("post-Shutdown snapshots differ: %+v vs %+v", s1, s2)
+	}
+	if s1.Sent != 40 || s1.Delivered+s1.Lost != s1.Sent {
+		t.Errorf("final stats don't balance: %+v", s1)
+	}
+	for i, l := range g.Links() {
+		ls := l.Stats()
+		if ls.Sent != 10 {
+			t.Errorf("link %d Sent = %d, want 10", i, ls.Sent)
+		}
+	}
+}

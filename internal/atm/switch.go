@@ -1,0 +1,219 @@
+package atm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultSwitchQueueCells is the default per-output-port cell queue
+// depth. It is sized like the OSIRIS on-board receive FIFO family:
+// enough to absorb transient fan-in bursts, small enough that sustained
+// overload is visible as drops rather than unbounded latency.
+const DefaultSwitchQueueCells = 256
+
+// SwitchConfig configures a cell switch.
+type SwitchConfig struct {
+	// Width is the number of striped lanes per port (default
+	// StripeWidth). Every attached node must stripe at the same width.
+	Width int
+	// Link configures the physical links on both sides of every port
+	// (the Index field is overridden per lane).
+	Link LinkConfig
+	// QueueCells bounds each output port's cell queue (default
+	// DefaultSwitchQueueCells). Cells routed to a full queue are
+	// dropped and counted in the port's Dropped statistic.
+	QueueCells int
+}
+
+func (c SwitchConfig) withDefaults() SwitchConfig {
+	if c.Width == 0 {
+		c.Width = StripeWidth
+	}
+	if c.QueueCells == 0 {
+		c.QueueCells = DefaultSwitchQueueCells
+	}
+	return c
+}
+
+// SwitchPortStats counts one port's activity. Input-side counters (In,
+// NoRoute) describe cells arriving from the attached node; output-side
+// counters (Forwarded, Dropped) describe cells routed *to* this port.
+type SwitchPortStats struct {
+	In        int64 // cells received from the attached node
+	NoRoute   int64 // input cells discarded for lack of a VCI route
+	Forwarded int64 // cells transmitted on this port's egress lanes
+	Dropped   int64 // cells dropped on egress-queue overflow
+}
+
+// laneCell is a queued cell tagged with its stripe lane.
+type laneCell struct {
+	c    Cell
+	lane int
+}
+
+// SwitchPort is one bidirectional port of a Switch: an ingress stripe
+// group the attached node transmits on, an egress stripe group it
+// receives on, and a bounded FIFO cell queue feeding the egress lanes.
+type SwitchPort struct {
+	index int
+	in    *StripeGroup
+	out   *StripeGroup
+	queue *sim.Chan[laneCell]
+	stats SwitchPortStats
+}
+
+// Index returns the port number.
+func (pt *SwitchPort) Index() int { return pt.index }
+
+// Ingress returns the node-to-switch stripe group; the attached node's
+// board transmits on its links (Board.AttachTxLinks(pt.Ingress().Links())).
+func (pt *SwitchPort) Ingress() *StripeGroup { return pt.in }
+
+// Egress returns the switch-to-node stripe group; the attached node's
+// board subscribes to it (Board.AttachRxLinks(pt.Egress())).
+func (pt *SwitchPort) Egress() *StripeGroup { return pt.out }
+
+// Stats returns a snapshot of the port's counters. Like Link.Stats, the
+// snapshot is only coherent between engine steps — read it after the
+// engine has quiesced (Run returned or Shutdown), not while events are
+// being executed by another proc.
+func (pt *SwitchPort) Stats() SwitchPortStats { return pt.stats }
+
+// QueueLen reports the cells currently waiting in the output queue.
+func (pt *SwitchPort) QueueLen() int { return pt.queue.Len() }
+
+// drain is the port's egress arbiter: cells leave the bounded queue in
+// strict FIFO arrival order (no per-flow scheduling) and are serialized
+// onto the lane they arrived on. Sending blocks while that lane's
+// transmit FIFO is full, so a congested lane backpressures the queue —
+// head-of-line blocking included, as in a real FIFO output port.
+func (pt *SwitchPort) drain(p *sim.Proc) {
+	for {
+		lc := pt.queue.Recv(p)
+		pt.out.Link(lc.lane).Send(p, lc.c)
+		pt.stats.Forwarded++
+	}
+}
+
+// SwitchStats aggregates counters across all ports.
+type SwitchStats struct {
+	In        int64
+	NoRoute   int64
+	Forwarded int64
+	Dropped   int64
+}
+
+// Switch is an N-port VCI-routed cell switch: the fabric that joins a
+// cluster of OSIRIS hosts, generalizing the paper's back-to-back
+// apparatus. Routing uses exactly the early-demultiplexing key of §3.1
+// — the VCI — so one routing table serves every flow.
+//
+// Each cell keeps its stripe lane across the switch: a cell that
+// arrives on ingress lane l leaves on egress lane l, and per-lane FIFO
+// order is preserved end to end. That invariant is what lets the
+// receiving board's four concurrent AAL5 reassemblies (§2.6 strategy
+// two) place cells from many senders correctly even as their flows
+// interleave in the fabric.
+type Switch struct {
+	eng    *sim.Engine
+	cfg    SwitchConfig
+	ports  []*SwitchPort
+	routes map[VCI]int
+}
+
+// NewSwitch creates a switch with nports ports and starts one egress
+// arbiter process per port.
+func NewSwitch(e *sim.Engine, nports int, cfg SwitchConfig) *Switch {
+	if nports < 2 {
+		panic("atm: a switch needs at least 2 ports")
+	}
+	cfg = cfg.withDefaults()
+	sw := &Switch{eng: e, cfg: cfg, routes: make(map[VCI]int)}
+	for i := 0; i < nports; i++ {
+		pt := &SwitchPort{
+			index: i,
+			in:    NewStripeGroup(e, cfg.Width, cfg.Link),
+			out:   NewStripeGroup(e, cfg.Width, cfg.Link),
+			queue: sim.NewChan[laneCell](e, cfg.QueueCells),
+		}
+		in := i
+		pt.in.SetReceiver(func(c Cell, lane int) { sw.forward(in, c, lane) })
+		sw.ports = append(sw.ports, pt)
+		e.Go(fmt.Sprintf("switch-port%d", i), pt.drain)
+	}
+	return sw
+}
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// Port returns port i.
+func (sw *Switch) Port(i int) *SwitchPort {
+	if i < 0 || i >= len(sw.ports) {
+		panic(fmt.Sprintf("atm: switch port %d out of range [0,%d)", i, len(sw.ports)))
+	}
+	return sw.ports[i]
+}
+
+// Route installs v → port: cells carrying VCI v, from any input port,
+// are forwarded to the given output port. Registering a VCI that
+// already has a route is an error — never a silent re-route — because a
+// collision would misdeliver one connection's cells into another's
+// reassembly state.
+func (sw *Switch) Route(v VCI, port int) error {
+	if port < 0 || port >= len(sw.ports) {
+		return fmt.Errorf("atm: route %d → port %d out of range [0,%d)", v, port, len(sw.ports))
+	}
+	if prev, ok := sw.routes[v]; ok {
+		return fmt.Errorf("atm: VCI %d already routed to port %d", v, prev)
+	}
+	sw.routes[v] = port
+	return nil
+}
+
+// Unroute removes v's route. Removing an unrouted VCI is a no-op.
+func (sw *Switch) Unroute(v VCI) { delete(sw.routes, v) }
+
+// RouteOf reports the output port v is routed to.
+func (sw *Switch) RouteOf(v VCI) (port int, ok bool) {
+	port, ok = sw.routes[v]
+	return port, ok
+}
+
+// forward runs in link-delivery (event) context: look the cell's VCI up
+// and enqueue it on the output port, dropping on overflow. It must not
+// block, so the queue is entered with TrySend — exactly the discipline
+// of the boards' own receive FIFOs.
+func (sw *Switch) forward(inPort int, c Cell, lane int) {
+	ip := sw.ports[inPort]
+	ip.stats.In++
+	out, ok := sw.routes[c.VCI]
+	if !ok {
+		ip.stats.NoRoute++
+		if sw.eng.Tracing() {
+			sw.eng.Tracef("drop: switch no route vci=%d in-port=%d", c.VCI, inPort)
+		}
+		return
+	}
+	op := sw.ports[out]
+	if !op.queue.TrySend(laneCell{c: c, lane: lane}) {
+		op.stats.Dropped++
+		if sw.eng.Tracing() {
+			sw.eng.Tracef("drop: switch port %d queue overflow vci=%d", out, c.VCI)
+		}
+	}
+}
+
+// Stats sums the per-port counters. The same snapshot discipline as
+// SwitchPort.Stats applies.
+func (sw *Switch) Stats() SwitchStats {
+	var s SwitchStats
+	for _, pt := range sw.ports {
+		s.In += pt.stats.In
+		s.NoRoute += pt.stats.NoRoute
+		s.Forwarded += pt.stats.Forwarded
+		s.Dropped += pt.stats.Dropped
+	}
+	return s
+}

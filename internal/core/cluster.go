@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/driver"
+	"repro/internal/hostsim"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xkernel"
+)
+
+// Cluster is the topology layer: N simulated hosts, each with an OSIRIS
+// board, joined by a VCI-routed cell switch (the generalization of the
+// paper's two boards back to back). Node 0 conventionally plays the
+// server in fan-in workloads; any pair of nodes can open sessions with
+// OpenPair.
+//
+// A Cluster built by NewTestbed has no switch — its two nodes are wired
+// directly, preserving the paper's §4 apparatus bit for bit — so Fabric
+// is nil there.
+type Cluster struct {
+	Eng   *sim.Engine
+	Opt   Options
+	Nodes []*Node
+	// Fabric is the cell switch joining the nodes (nil for the two-node
+	// back-to-back testbed).
+	Fabric *atm.Switch
+	nextID int
+}
+
+// buildNode assembles one host: machine, board, driver, and the
+// protocol graph, named and addressed for the topology.
+func buildNode(e *sim.Engine, opt Options, name string, addr proto.HostAddr) *Node {
+	h := hostsim.New(e, opt.Profile, opt.MemPages)
+	bcfg := opt.Board
+	bcfg.Name = name
+	b := board.New(e, h, bcfg)
+	d := driver.New(e, h, b, opt.Driver)
+	n := &Node{Host: h, Board: b, Drv: d, Addr: addr}
+	n.IP = proto.NewIP(h, d, addr, opt.MTU)
+	n.UDP = proto.NewUDP(h, n.IP)
+	n.RDP = proto.NewRDP(h, n.IP)
+	n.Raw = proto.NewRaw(h, d)
+	n.Graph = xkernel.NewGraph(name + "-kernel")
+	n.Graph.Register(n.IP)
+	n.Graph.Register(n.UDP)
+	n.Graph.Register(n.RDP)
+	n.Graph.Register(n.Raw)
+	return n
+}
+
+// NewCluster builds n nodes (n ≥ 2) joined by a cell switch: each
+// node's transmit links feed a switch ingress port and its receive side
+// subscribes to the matching egress port. The switch's links share the
+// cluster's Options.Link configuration (skew, loss, rate), so a cell
+// crosses two link hops — node→switch and switch→node — as it would in
+// a real switched ATM fabric.
+func NewCluster(opt Options, n int) *Cluster {
+	if n < 2 {
+		panic("core: a cluster needs at least 2 nodes")
+	}
+	opt = opt.withDefaults()
+	e := sim.NewEngine(opt.Seed)
+	cl := &Cluster{Eng: e, Opt: opt}
+	width := opt.Board.StripeWidth
+	if width == 0 {
+		width = atm.StripeWidth
+	}
+	for i := 0; i < n; i++ {
+		cl.Nodes = append(cl.Nodes, buildNode(e, opt, fmt.Sprintf("n%d", i), proto.HostAddr(i+1)))
+	}
+	cl.Fabric = atm.NewSwitch(e, n, atm.SwitchConfig{
+		Width:      width,
+		Link:       opt.Link,
+		QueueCells: opt.FabricQueueCells,
+	})
+	for i, nd := range cl.Nodes {
+		pt := cl.Fabric.Port(i)
+		nd.Board.AttachTxLinks(pt.Ingress().Links())
+		nd.Board.AttachRxLinks(pt.Egress())
+	}
+	return cl
+}
+
+// allocVCI hands out fresh VCIs — "a fairly abundant resource" (§3.1).
+func (cl *Cluster) allocVCI() atm.VCI {
+	cl.nextID++
+	return atm.VCI(100 + cl.nextID)
+}
+
+// Node returns node i.
+func (cl *Cluster) Node(i int) *Node { return cl.Nodes[i] }
+
+// Shutdown tears the simulation down.
+func (cl *Cluster) Shutdown() { cl.Eng.Shutdown() }
+
+// OpenPair opens a unidirectional connection path from node `from` to
+// node `to` for the given protocol: it allocates a fresh VCI, installs
+// the switch route (when a fabric is present — a duplicate VCI on the
+// switch is an error, never a silent re-route), and opens the matching
+// sessions on both nodes. tx is the session to Push on node `from`; rx
+// is the receiving session on node `to` (install a handler on it).
+// Reverse traffic needs its own pair, as in the paper's ping-pong
+// apparatus.
+func (cl *Cluster) OpenPair(from, to int, kind ProtoKind) (tx, rx xkernel.Session, err error) {
+	if from < 0 || from >= len(cl.Nodes) || to < 0 || to >= len(cl.Nodes) {
+		return nil, nil, fmt.Errorf("core: node pair (%d,%d) out of range [0,%d)", from, to, len(cl.Nodes))
+	}
+	if from == to {
+		return nil, nil, fmt.Errorf("core: cannot open a pair from node %d to itself", from)
+	}
+	v := cl.allocVCI()
+	if cl.Fabric != nil {
+		if err := cl.Fabric.Route(v, to); err != nil {
+			return nil, nil, err
+		}
+	}
+	src, dst := cl.Nodes[from], cl.Nodes[to]
+	switch kind {
+	case ATMRaw:
+		if tx, err = src.Raw.Open(proto.RawOpen{VCI: v}); err != nil {
+			return nil, nil, err
+		}
+		rx, err = dst.Raw.Open(proto.RawOpen{VCI: v})
+	default:
+		if tx, err = src.UDP.Open(proto.UDPOpen{Remote: dst.Addr, VCI: v, SrcPort: uint16(from + 1), DstPort: uint16(to + 1), Checksum: cl.Opt.Checksum}); err != nil {
+			return nil, nil, err
+		}
+		rx, err = dst.UDP.Open(proto.UDPOpen{Remote: src.Addr, VCI: v, SrcPort: uint16(to + 1), DstPort: uint16(from + 1), Checksum: cl.Opt.Checksum})
+	}
+	return tx, rx, err
+}
+
+// RunLatency measures the average round-trip time between nodes from
+// and to for messages of the given size, as in Table 1: a ping-pong
+// between test programs linked into the kernel. The first round is a
+// warm-up and is excluded.
+func (cl *Cluster) RunLatency(from, to int, kind ProtoKind, msgSize, rounds int) (time.Duration, error) {
+	ftx, frx, err := cl.OpenPair(from, to, kind)
+	if err != nil {
+		return 0, err
+	}
+	rtx, rrx, err := cl.OpenPair(to, from, kind) // reverse direction
+	if err != nil {
+		return 0, err
+	}
+	src, dst := cl.Nodes[from], cl.Nodes[to]
+	// The remote node echoes every message back on the reverse session.
+	frx.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		data, err := m.Bytes()
+		if err != nil {
+			return
+		}
+		reply, freeReply, err := allocFrom(dst.Host.Kernel, data)
+		if err != nil {
+			return
+		}
+		if err := rtx.Push(p, reply); err != nil {
+			freeReply()
+			return
+		}
+		dst.Drv.Flush(p)
+		freeReply()
+	})
+
+	var rtts []time.Duration
+	gotReply := sim.NewCond(cl.Eng)
+	replied := false
+	rrx.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		replied = true
+		gotReply.Broadcast()
+	})
+	done := false
+	cl.Eng.Go("latency-experiment", func(p *sim.Proc) {
+		for i := 0; i < rounds+1; i++ {
+			m, free, err := alloc(src.Host.Kernel, msgSize)
+			if err != nil {
+				return
+			}
+			replied = false
+			start := p.Now()
+			if err := ftx.Push(p, m); err != nil {
+				free()
+				return
+			}
+			for !replied {
+				gotReply.Wait(p)
+			}
+			if i > 0 { // skip warm-up
+				rtts = append(rtts, time.Duration(p.Now()-start))
+			}
+			src.Drv.Flush(p)
+			free()
+		}
+		done = true
+	})
+	cl.Eng.Run()
+	if !done || len(rtts) == 0 {
+		return 0, fmt.Errorf("core: latency experiment did not complete (%d/%d rounds)", len(rtts), rounds)
+	}
+	var total time.Duration
+	for _, r := range rtts {
+		total += r
+	}
+	return total / time.Duration(len(rtts)), nil
+}
+
+// RunReceiveThroughput reproduces the Figure 2/3 apparatus on the given
+// node: its board generates fictitious UDP/IP traffic of the given
+// message size (cells paced at the 622 Mbps channel's payload rate),
+// and the measured quantity is the rate at which the node's stack
+// delivers message payload to the test program. count messages are
+// generated; the first is warm-up.
+func (cl *Cluster) RunReceiveThroughput(node, msgSize, count int) (float64, error) {
+	if node < 0 || node >= len(cl.Nodes) {
+		return 0, fmt.Errorf("core: node %d out of range [0,%d)", node, len(cl.Nodes))
+	}
+	nd := cl.Nodes[node]
+	remote := cl.Nodes[(node+1)%len(cl.Nodes)]
+	v := cl.allocVCI()
+	sess, err := nd.UDP.Open(proto.UDPOpen{Remote: remote.Addr, VCI: v, SrcPort: 2, DstPort: 1, Checksum: cl.Opt.Checksum})
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, msgSize)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	// Build the whole run's traffic with distinct IP idents so a dropped
+	// fragment under overload cannot corrupt a later message's
+	// reassembly.
+	var frags [][]byte
+	for i := 0; i < count; i++ {
+		frags = append(frags, proto.BuildUDPFragments(payload, 1, 2, remote.Addr, nd.Addr, cl.Opt.MTU, cl.Opt.Checksum, uint32(1000+i))...)
+	}
+
+	received := 0
+	var firstDone, lastDone sim.Time
+	sess.SetHandler(func(p *sim.Proc, m *msg.Message) {
+		if m.Len() != msgSize {
+			return
+		}
+		received++
+		if received == 1 {
+			firstDone = p.Now()
+		}
+		lastDone = p.Now()
+	})
+	nd.Board.StartFictitious(v, frags, 0, 1)
+	// Generous horizon: the slowest plausible rate is ~20 Mbps.
+	horizon := cl.Eng.Now().Add(time.Duration(count) * (time.Duration(msgSize)*8*50*time.Nanosecond + 10*time.Millisecond))
+	cl.Eng.RunUntil(horizon)
+	nd.Board.StopFictitious()
+	cl.Eng.Run()
+	if received < 2 {
+		return 0, fmt.Errorf("core: receive experiment delivered %d/%d messages", received, count)
+	}
+	return stats.Mbps(int64(received-1)*int64(msgSize), time.Duration(lastDone-firstDone)), nil
+}

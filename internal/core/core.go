@@ -1,13 +1,17 @@
-// Package core assembles the full system — two simulated hosts with
-// OSIRIS boards linked back to back by four striped 155 Mbps links —
-// and provides the experiment drivers that regenerate the paper's
-// evaluation (§4): round-trip latency (Table 1), receive-side
-// throughput with the board's fictitious-PDU generator (Figures 2 and
-// 3), and transmit-side throughput in isolation (Figure 4).
+// Package core assembles simulated systems out of hosts with OSIRIS
+// boards. Two topologies are offered: the paper's own apparatus — two
+// hosts linked back to back by four striped 155 Mbps links (Testbed,
+// §4) — and its generalization, N hosts joined by a VCI-routed cell
+// switch (Cluster). The experiment drivers regenerate the paper's
+// evaluation — round-trip latency (Table 1), receive-side throughput
+// with the board's fictitious-PDU generator (Figures 2 and 3), and
+// transmit-side throughput in isolation (Figure 4) — and extend it
+// with fan-in (incast) workloads over the switch.
 package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/atm"
@@ -39,26 +43,45 @@ func (k ProtoKind) String() string {
 	return "UDP/IP"
 }
 
-// Options configures a testbed.
+// DefaultSeed is the simulation seed used when Options.Seed is left
+// zero, so that Options{} stays reproducible run to run.
+const DefaultSeed int64 = 0x0514
+
+// ZeroSeed is a sentinel for Options.Seed requesting a literal zero
+// seed (which the zero value of the field cannot express, since it
+// selects DefaultSeed).
+const ZeroSeed int64 = math.MinInt64
+
+// Options configures a testbed or cluster.
 type Options struct {
-	// Profile is the machine model for both hosts (default DEC5000/200).
+	// Profile is the machine model for all hosts (default DEC5000/200).
 	Profile hostsim.Profile
-	// Board configures both boards' firmware policies.
+	// Board configures every board's firmware policies.
 	Board board.Config
-	// Driver configures both hosts' drivers.
+	// Driver configures every host's driver.
 	Driver driver.Config
 	// MTU is the IP maximum transfer unit (default 16 KB, §4).
 	MTU int
 	// Checksum enables the UDP data checksum (the "UDP-CS" curves).
 	Checksum bool
-	// Link configures the physical links (skew models etc.).
+	// Link configures the physical links (skew models etc.). In a
+	// switched cluster the same configuration applies to both hops
+	// (node→switch and switch→node).
 	Link atm.LinkConfig
+	// FabricQueueCells bounds each switch output port's cell queue in a
+	// switched cluster (default atm.DefaultSwitchQueueCells); cells
+	// arriving at a full queue are dropped and counted. Ignored by the
+	// back-to-back testbed.
+	FabricQueueCells int
 	// TxIsolated omits the links entirely and attaches a counting sink
-	// to host A's board — the Figure 4 transmit-side isolation.
+	// to host A's board — the Figure 4 transmit-side isolation
+	// (testbed only).
 	TxIsolated bool
 	// MemPages sizes each host's physical memory (default 4096 pages).
 	MemPages int
-	// Seed seeds the simulation's deterministic randomness.
+	// Seed seeds the simulation's deterministic randomness. The zero
+	// value selects DefaultSeed; pass ZeroSeed to run with a literal
+	// zero seed.
 	Seed int64
 }
 
@@ -72,8 +95,11 @@ func (o Options) withDefaults() Options {
 	if o.MemPages == 0 {
 		o.MemPages = 4096
 	}
-	if o.Seed == 0 {
-		o.Seed = 0x0514
+	switch o.Seed {
+	case 0:
+		o.Seed = DefaultSeed
+	case ZeroSeed:
+		o.Seed = 0
 	}
 	return o
 }
@@ -88,15 +114,18 @@ type Node struct {
 	RDP   *proto.RDP
 	Raw   *proto.Raw
 	Graph *xkernel.Graph
+	// Addr is the node's internetwork address (node index + 1).
+	Addr proto.HostAddr
 }
 
-// Testbed is the two-host apparatus of §4.
+// Testbed is the two-host apparatus of §4: the 2-node special case of a
+// Cluster, with the boards wired directly back to back (no switch, so
+// the calibrated Table 1 / Figure 2–4 numbers are untouched by the
+// fabric generalization).
 type Testbed struct {
-	Eng    *sim.Engine
-	Opt    Options
-	A, B   *Node
-	sink   *txSink // present in TxIsolated mode
-	nextID int
+	*Cluster
+	A, B *Node
+	sink *txSink // present in TxIsolated mode
 }
 
 // txSink counts cells absorbed from an isolated transmitter.
@@ -111,28 +140,12 @@ type txSink struct {
 func NewTestbed(opt Options) *Testbed {
 	opt = opt.withDefaults()
 	e := sim.NewEngine(opt.Seed)
-	tb := &Testbed{Eng: e, Opt: opt}
-
-	buildNode := func(name string, addr proto.HostAddr) *Node {
-		h := hostsim.New(e, opt.Profile, opt.MemPages)
-		bcfg := opt.Board
-		bcfg.Name = name
-		b := board.New(e, h, bcfg)
-		d := driver.New(e, h, b, opt.Driver)
-		n := &Node{Host: h, Board: b, Drv: d}
-		n.IP = proto.NewIP(h, d, addr, opt.MTU)
-		n.UDP = proto.NewUDP(h, n.IP)
-		n.RDP = proto.NewRDP(h, n.IP)
-		n.Raw = proto.NewRaw(h, d)
-		n.Graph = xkernel.NewGraph(name + "-kernel")
-		n.Graph.Register(n.IP)
-		n.Graph.Register(n.UDP)
-		n.Graph.Register(n.RDP)
-		n.Graph.Register(n.Raw)
-		return n
+	cl := &Cluster{Eng: e, Opt: opt}
+	cl.Nodes = []*Node{
+		buildNode(e, opt, "A", 1),
+		buildNode(e, opt, "B", 2),
 	}
-	tb.A = buildNode("A", 1)
-	tb.B = buildNode("B", 2)
+	tb := &Testbed{Cluster: cl, A: cl.Nodes[0], B: cl.Nodes[1]}
 
 	if opt.TxIsolated {
 		tb.sink = &txSink{}
@@ -149,11 +162,7 @@ func NewTestbed(opt Options) *Testbed {
 
 	wire := func(from, to *Node) {
 		g := atm.NewStripeGroup(e, atm.StripeWidth, opt.Link)
-		links := make([]*atm.Link, g.Width())
-		for i := range links {
-			links[i] = g.Link(i)
-		}
-		from.Board.AttachTxLinks(links)
+		from.Board.AttachTxLinks(g.Links())
 		to.Board.AttachRxLinks(g)
 	}
 	wire(tb.A, tb.B)
@@ -161,28 +170,9 @@ func NewTestbed(opt Options) *Testbed {
 	return tb
 }
 
-// vci hands out fresh VCIs — "a fairly abundant resource" (§3.1).
-func (tb *Testbed) vci() atm.VCI {
-	tb.nextID++
-	return atm.VCI(100 + tb.nextID)
-}
-
 // openPair opens matching sessions on A and B for the given protocol.
 func (tb *Testbed) openPair(kind ProtoKind) (a, b xkernel.Session, err error) {
-	v := tb.vci()
-	switch kind {
-	case ATMRaw:
-		if a, err = tb.A.Raw.Open(proto.RawOpen{VCI: v}); err != nil {
-			return nil, nil, err
-		}
-		b, err = tb.B.Raw.Open(proto.RawOpen{VCI: v})
-	default:
-		if a, err = tb.A.UDP.Open(proto.UDPOpen{Remote: 2, VCI: v, SrcPort: 1, DstPort: 2, Checksum: tb.Opt.Checksum}); err != nil {
-			return nil, nil, err
-		}
-		b, err = tb.B.UDP.Open(proto.UDPOpen{Remote: 1, VCI: v, SrcPort: 2, DstPort: 1, Checksum: tb.Opt.Checksum})
-	}
-	return a, b, err
+	return tb.OpenPair(0, 1, kind)
 }
 
 // alloc builds a message of n pattern bytes in space, returning it with
@@ -195,12 +185,7 @@ func alloc(space *mem.AddressSpace, n int) (*msg.Message, func(), error) {
 	for i := range data {
 		data[i] = byte(i*31 + 7)
 	}
-	m, err := msg.FromBytes(space, data)
-	if err != nil {
-		return nil, nil, err
-	}
-	f := m.Fragments()[0]
-	return m, func() { f.Space.Free(f.VA, f.Len) }, nil
+	return allocFrom(space, data)
 }
 
 // RunLatency measures the average round-trip time for messages of the
@@ -208,72 +193,7 @@ func alloc(space *mem.AddressSpace, n int) (*msg.Message, func(), error) {
 // into the kernel, boards back to back. The first round is a warm-up
 // and is excluded.
 func (tb *Testbed) RunLatency(kind ProtoKind, msgSize, rounds int) (time.Duration, error) {
-	sa, sb, err := tb.openPair(kind)
-	if err != nil {
-		return 0, err
-	}
-	ra, rb, err := tb.openPair(kind) // reverse direction
-	if err != nil {
-		return 0, err
-	}
-	// B echoes every message back on the reverse session.
-	sb.SetHandler(func(p *sim.Proc, m *msg.Message) {
-		data, err := m.Bytes()
-		if err != nil {
-			return
-		}
-		reply, freeReply, err := allocFrom(tb.B.Host.Kernel, data)
-		if err != nil {
-			return
-		}
-		if err := rb.Push(p, reply); err != nil {
-			freeReply()
-			return
-		}
-		tb.B.Drv.Flush(p)
-		freeReply()
-	})
-
-	var rtts []time.Duration
-	gotReply := sim.NewCond(tb.Eng)
-	replied := false
-	ra.SetHandler(func(p *sim.Proc, m *msg.Message) {
-		replied = true
-		gotReply.Broadcast()
-	})
-	done := false
-	tb.Eng.Go("latency-experiment", func(p *sim.Proc) {
-		for i := 0; i < rounds+1; i++ {
-			m, free, err := alloc(tb.A.Host.Kernel, msgSize)
-			if err != nil {
-				return
-			}
-			replied = false
-			start := p.Now()
-			if err := sa.Push(p, m); err != nil {
-				free()
-				return
-			}
-			for !replied {
-				gotReply.Wait(p)
-			}
-			if i > 0 { // skip warm-up
-				rtts = append(rtts, time.Duration(p.Now()-start))
-			}
-			tb.A.Drv.Flush(p)
-			free()
-		}
-		done = true
-	})
-	tb.Eng.Run()
-	if !done || len(rtts) == 0 {
-		return 0, fmt.Errorf("core: latency experiment did not complete (%d/%d rounds)", len(rtts), rounds)
-	}
-	var total time.Duration
-	for _, r := range rtts {
-		total += r
-	}
-	return total / time.Duration(len(rtts)), nil
+	return tb.Cluster.RunLatency(0, 1, kind, msgSize, rounds)
 }
 
 // allocFrom is alloc with caller-provided contents.
@@ -296,45 +216,7 @@ func allocFrom(space *mem.AddressSpace, data []byte) (*msg.Message, func(), erro
 // payload to the test program. count messages are generated; the first
 // is warm-up.
 func (tb *Testbed) RunReceiveThroughput(msgSize, count int) (float64, error) {
-	v := tb.vci()
-	sess, err := tb.B.UDP.Open(proto.UDPOpen{Remote: 1, VCI: v, SrcPort: 2, DstPort: 1, Checksum: tb.Opt.Checksum})
-	if err != nil {
-		return 0, err
-	}
-	payload := make([]byte, msgSize)
-	for i := range payload {
-		payload[i] = byte(i*13 + 5)
-	}
-	// Build the whole run's traffic with distinct IP idents so a dropped
-	// fragment under overload cannot corrupt a later message's
-	// reassembly.
-	var frags [][]byte
-	for i := 0; i < count; i++ {
-		frags = append(frags, proto.BuildUDPFragments(payload, 1, 2, 1, 2, tb.Opt.MTU, tb.Opt.Checksum, uint32(1000+i))...)
-	}
-
-	received := 0
-	var firstDone, lastDone sim.Time
-	sess.SetHandler(func(p *sim.Proc, m *msg.Message) {
-		if m.Len() != msgSize {
-			return
-		}
-		received++
-		if received == 1 {
-			firstDone = p.Now()
-		}
-		lastDone = p.Now()
-	})
-	tb.B.Board.StartFictitious(v, frags, 0, 1)
-	// Generous horizon: the slowest plausible rate is ~20 Mbps.
-	horizon := tb.Eng.Now().Add(time.Duration(count) * (time.Duration(msgSize)*8*50*time.Nanosecond + 10*time.Millisecond))
-	tb.Eng.RunUntil(horizon)
-	tb.B.Board.StopFictitious()
-	tb.Eng.Run()
-	if received < 2 {
-		return 0, fmt.Errorf("core: receive experiment delivered %d/%d messages", received, count)
-	}
-	return stats.Mbps(int64(received-1)*int64(msgSize), time.Duration(lastDone-firstDone)), nil
+	return tb.Cluster.RunReceiveThroughput(1, msgSize, count)
 }
 
 // RunTransmitThroughput reproduces the Figure 4 apparatus: host A's
@@ -345,7 +227,7 @@ func (tb *Testbed) RunTransmitThroughput(msgSize, count int) (float64, error) {
 	if tb.sink == nil {
 		return 0, fmt.Errorf("core: testbed not built with TxIsolated")
 	}
-	v := tb.vci()
+	v := tb.allocVCI()
 	sess, err := tb.A.UDP.Open(proto.UDPOpen{Remote: 2, VCI: v, SrcPort: 1, DstPort: 2, Checksum: tb.Opt.Checksum})
 	if err != nil {
 		return 0, err
@@ -386,6 +268,3 @@ func (tb *Testbed) SinkStats() (cells, bytes int64) {
 	}
 	return tb.sink.cells, tb.sink.bytes
 }
-
-// Shutdown tears the simulation down.
-func (tb *Testbed) Shutdown() { tb.Eng.Shutdown() }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xkernel"
+)
+
+// FanInClient is one sender's view of a fan-in run, as measured at the
+// server.
+type FanInClient struct {
+	Client    int     // client index (node Client+1 in the cluster)
+	Sent      int     // messages the client pushed
+	Delivered int     // messages the server received intact
+	Mbps      float64 // server-side goodput over the client's own window
+}
+
+// FanInResult is the outcome of a fan-in run.
+type FanInResult struct {
+	Workload  workload.FanIn
+	Clients   []FanInClient
+	Sent      int // aggregate messages pushed
+	Delivered int // aggregate messages received intact
+	// Corrupt counts deliveries whose payload failed byte-for-byte
+	// verification. Cell loss in the fabric must surface as *missing*
+	// messages (the AAL5 trailer check and the UDP checksum discard
+	// damaged PDUs), so any non-zero value here is a correctness bug,
+	// not congestion.
+	Corrupt int
+	// AggregateMbps is the server-side goodput over the whole run's
+	// first-to-last delivery window.
+	AggregateMbps float64
+	// SwitchDropped and SwitchNoRoute are the fabric's cell-level loss
+	// counters: output-queue overflows (the incast signature) and cells
+	// with no VCI route. SwitchForwarded counts cells that crossed the
+	// fabric.
+	SwitchDropped   int64
+	SwitchNoRoute   int64
+	SwitchForwarded int64
+	// Elapsed is the server's first-to-last delivery window.
+	Elapsed time.Duration
+}
+
+// RunFanIn drives the incast workload: nodes 1..Clients each push
+// w.Messages messages of w.MessageBytes at node 0 over UDP/IP through
+// the fabric, and the server verifies every delivery byte for byte
+// (real-data verification, DESIGN §4). Per-client and aggregate
+// goodput are measured at the server. With w.Gap == 0 every client
+// blasts at full rate — w.Clients times the server channel's capacity
+// — and the switch's bounded output queue overflows; the drops are
+// counted in the result, never silently absorbed.
+//
+// The cluster must have been built by NewCluster (a fabric is
+// required) with at least w.Clients+1 nodes. A zero w.Clients is
+// defaulted to len(Nodes)-1.
+func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
+	if cl.Fabric == nil {
+		return nil, fmt.Errorf("core: fan-in needs a switched cluster (NewCluster), not a back-to-back testbed")
+	}
+	if w.Clients == 0 {
+		w.Clients = len(cl.Nodes) - 1
+	}
+	if w.Clients < 1 || w.Clients > len(cl.Nodes)-1 {
+		return nil, fmt.Errorf("core: %d fan-in clients need a cluster of %d nodes, have %d", w.Clients, w.Clients+1, len(cl.Nodes))
+	}
+	if w.MessageBytes < workload.FanInHeaderBytes {
+		return nil, fmt.Errorf("core: fan-in message size %d below header size %d", w.MessageBytes, workload.FanInHeaderBytes)
+	}
+	if w.Messages < 1 {
+		return nil, fmt.Errorf("core: fan-in needs at least 1 message per client")
+	}
+
+	perClient := stats.NewPerNode()
+	corrupt := 0
+	start := cl.Eng.Now()
+
+	// One unidirectional path per client: node c+1 → node 0. Each gets
+	// its own VCI and switch route, so the server's board runs one AAL5
+	// reassembly per client concurrently (§2.6 strategy two).
+	txs := make([]xkernel.Session, w.Clients)
+	for c := 0; c < w.Clients; c++ {
+		tx, rx, err := cl.OpenPair(c+1, 0, UDPIP)
+		if err != nil {
+			return nil, err
+		}
+		txs[c] = tx
+		ww := w
+		rx.SetHandler(func(p *sim.Proc, m *msg.Message) {
+			data, err := m.Bytes()
+			if err != nil {
+				corrupt++
+				return
+			}
+			client, _, ok := ww.Verify(data)
+			if !ok {
+				corrupt++
+				return
+			}
+			perClient.Observe(client, len(data), time.Duration(p.Now()-start))
+		})
+	}
+
+	sendersDone := 0
+	for c := 0; c < w.Clients; c++ {
+		c := c
+		nd := cl.Nodes[c+1]
+		tx := txs[c]
+		cl.Eng.Go(fmt.Sprintf("fanin-client-%d", c), func(p *sim.Proc) {
+			if w.Stagger > 0 && c > 0 {
+				p.Sleep(time.Duration(c) * w.Stagger)
+			}
+			for m := 0; m < w.Messages; m++ {
+				payload := w.Payload(c, m)
+				mm, free, err := allocFrom(nd.Host.Kernel, payload)
+				if err != nil {
+					return
+				}
+				if err := tx.Push(p, mm); err != nil {
+					free()
+					return
+				}
+				nd.Drv.Flush(p)
+				free()
+				if w.Gap > 0 && m < w.Messages-1 {
+					p.Sleep(w.Gap)
+				}
+			}
+			sendersDone++
+		})
+	}
+
+	// Senders never deadlock: uplink FIFOs drain at line rate and the
+	// fabric's only congestion point drops rather than blocks, so a
+	// generous horizon (slowest plausible drain ~20 Mbps aggregate plus
+	// all pacing gaps) always suffices.
+	horizon := time.Duration(w.TotalBytes())*8*50*time.Nanosecond +
+		w.Stagger*time.Duration(w.Clients) +
+		w.Gap*time.Duration(w.Messages) +
+		50*time.Millisecond
+	cl.Eng.RunUntil(cl.Eng.Now().Add(horizon))
+	cl.Eng.Run() // drain in-flight cells and deliveries
+	if sendersDone != w.Clients {
+		return nil, fmt.Errorf("core: fan-in incomplete: %d/%d senders finished", sendersDone, w.Clients)
+	}
+
+	res := &FanInResult{Workload: w, Sent: w.Clients * w.Messages, Corrupt: corrupt}
+	for c := 0; c < w.Clients; c++ {
+		a := perClient.Node(c)
+		res.Clients = append(res.Clients, FanInClient{
+			Client:    c,
+			Sent:      w.Messages,
+			Delivered: a.Messages,
+			Mbps:      a.Mbps(),
+		})
+		res.Delivered += a.Messages
+	}
+	agg := perClient.Aggregate()
+	res.AggregateMbps = agg.Mbps()
+	res.Elapsed = agg.Last - agg.First
+	ss := cl.Fabric.Stats()
+	res.SwitchDropped = ss.Dropped
+	res.SwitchNoRoute = ss.NoRoute
+	res.SwitchForwarded = ss.Forwarded
+	return res, nil
+}
+
+// RunFanIn builds a switched cluster of clients+1 nodes and runs the
+// full-rate incast: clients senders each push count messages of msgSize
+// bytes at node 0 with no pacing gap, the regime where the fan-in
+// exceeds the server channel's capacity and the switch queue's drops
+// become visible. Use Cluster.RunFanIn with a workload.FanIn for paced
+// variants.
+func RunFanIn(opt Options, clients, msgSize, count int) (*FanInResult, error) {
+	cl := NewCluster(opt, clients+1)
+	defer cl.Shutdown()
+	return cl.RunFanIn(workload.FanIn{Clients: clients, MessageBytes: msgSize, Messages: count})
+}

@@ -185,3 +185,82 @@ func Summarize(vs []float64) Summary {
 	s.Mean = total / float64(len(vs))
 	return s
 }
+
+// NodeAgg accumulates one node's deliveries: message and byte counts
+// bracketed by the first and last delivery times (simulation time as an
+// offset from the run's origin).
+type NodeAgg struct {
+	Node     int
+	Messages int
+	Bytes    int64
+	First    time.Duration
+	Last     time.Duration
+}
+
+// Mbps is the node's delivered throughput over its own first-to-last
+// window.
+func (a NodeAgg) Mbps() float64 { return Mbps(a.Bytes, a.Last-a.First) }
+
+// PerNode aggregates deliveries by node — the per-client view of a
+// fan-in experiment's server.
+type PerNode struct {
+	nodes map[int]*NodeAgg
+}
+
+// NewPerNode creates an empty aggregator.
+func NewPerNode() *PerNode { return &PerNode{nodes: make(map[int]*NodeAgg)} }
+
+// Observe records one delivery of the given size attributed to node at
+// the given simulation time.
+func (p *PerNode) Observe(node, bytes int, at time.Duration) {
+	a, ok := p.nodes[node]
+	if !ok {
+		a = &NodeAgg{Node: node, First: at}
+		p.nodes[node] = a
+	}
+	if a.Messages == 0 || at < a.First {
+		a.First = at
+	}
+	if at > a.Last {
+		a.Last = at
+	}
+	a.Messages++
+	a.Bytes += int64(bytes)
+}
+
+// Node returns node's aggregate (zero-valued if it never delivered).
+func (p *PerNode) Node(node int) NodeAgg {
+	if a, ok := p.nodes[node]; ok {
+		return *a
+	}
+	return NodeAgg{Node: node}
+}
+
+// Nodes returns every node's aggregate, sorted by node id.
+func (p *PerNode) Nodes() []NodeAgg {
+	out := make([]NodeAgg, 0, len(p.nodes))
+	for _, a := range p.nodes {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Aggregate folds all nodes into one NodeAgg (Node = -1) whose window
+// spans the earliest First to the latest Last.
+func (p *PerNode) Aggregate() NodeAgg {
+	agg := NodeAgg{Node: -1}
+	first := true
+	for _, a := range p.nodes {
+		agg.Messages += a.Messages
+		agg.Bytes += a.Bytes
+		if first || a.First < agg.First {
+			agg.First = a.First
+		}
+		if a.Last > agg.Last {
+			agg.Last = a.Last
+		}
+		first = false
+	}
+	return agg
+}

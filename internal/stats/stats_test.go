@@ -71,3 +71,43 @@ func TestSummarize(t *testing.T) {
 		t.Error("empty summary")
 	}
 }
+
+func TestPerNodeAggregation(t *testing.T) {
+	p := NewPerNode()
+	p.Observe(0, 1000, 1*time.Millisecond)
+	p.Observe(0, 1000, 2*time.Millisecond)
+	p.Observe(1, 500, 3*time.Millisecond)
+	a := p.Node(0)
+	if a.Messages != 2 || a.Bytes != 2000 || a.First != time.Millisecond || a.Last != 2*time.Millisecond {
+		t.Errorf("node 0 agg = %+v", a)
+	}
+	// 2000 bytes over 1 ms = 16 Mbps.
+	if a.Mbps() < 15.9 || a.Mbps() > 16.1 {
+		t.Errorf("node 0 Mbps = %f", a.Mbps())
+	}
+	if missing := p.Node(9); missing.Messages != 0 || missing.Node != 9 {
+		t.Errorf("absent node agg = %+v", missing)
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 2 || nodes[0].Node != 0 || nodes[1].Node != 1 {
+		t.Errorf("Nodes() = %+v", nodes)
+	}
+	agg := p.Aggregate()
+	if agg.Node != -1 || agg.Messages != 3 || agg.Bytes != 2500 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if agg.First != time.Millisecond || agg.Last != 3*time.Millisecond {
+		t.Errorf("aggregate window = %v..%v", agg.First, agg.Last)
+	}
+}
+
+func TestPerNodeEmpty(t *testing.T) {
+	p := NewPerNode()
+	if len(p.Nodes()) != 0 {
+		t.Error("empty aggregator has nodes")
+	}
+	agg := p.Aggregate()
+	if agg.Messages != 0 || agg.Mbps() != 0 {
+		t.Errorf("empty aggregate = %+v", agg)
+	}
+}

@@ -61,3 +61,57 @@ func TestDefaultPriorityMix(t *testing.T) {
 		t.Error("empty mix")
 	}
 }
+
+func TestFanInPayloadVerifyRoundTrip(t *testing.T) {
+	f := DefaultFanIn()
+	for _, id := range [][2]int{{0, 0}, {3, 5}, {f.Clients - 1, f.Messages - 1}} {
+		p := f.Payload(id[0], id[1])
+		if len(p) != f.MessageBytes {
+			t.Fatalf("payload length %d", len(p))
+		}
+		client, msg, ok := f.Verify(p)
+		if !ok || client != id[0] || msg != id[1] {
+			t.Errorf("Verify(Payload(%d,%d)) = %d,%d,%v", id[0], id[1], client, msg, ok)
+		}
+	}
+}
+
+func TestFanInPayloadsDistinct(t *testing.T) {
+	f := DefaultFanIn()
+	if string(f.Payload(0, 0)) == string(f.Payload(1, 0)) {
+		t.Error("different clients share a payload")
+	}
+	if string(f.Payload(0, 0)) == string(f.Payload(0, 1)) {
+		t.Error("different messages share a payload")
+	}
+}
+
+func TestFanInVerifyRejectsDamage(t *testing.T) {
+	f := DefaultFanIn()
+	if _, _, ok := f.Verify(nil); ok {
+		t.Error("nil verified")
+	}
+	if _, _, ok := f.Verify(make([]byte, 3)); ok {
+		t.Error("short payload verified")
+	}
+	p := f.Payload(2, 3)
+	p[f.MessageBytes/2] ^= 1
+	if _, _, ok := f.Verify(p); ok {
+		t.Error("flipped bit verified")
+	}
+	if _, _, ok := f.Verify(f.Payload(2, 3)[:100]); ok {
+		t.Error("truncated payload verified")
+	}
+	q := f.Payload(0, 0)
+	q[3] = 200 // client index out of range
+	if _, _, ok := f.Verify(q); ok {
+		t.Error("out-of-range identity verified")
+	}
+}
+
+func TestFanInTotalBytes(t *testing.T) {
+	f := FanIn{Clients: 3, MessageBytes: 100, Messages: 4}
+	if f.TotalBytes() != 1200 {
+		t.Errorf("TotalBytes = %d", f.TotalBytes())
+	}
+}
