@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var (
+	flagSimBench = flag.Bool("simbench", false, "wall-clock benchmarks of the simulation core (writes -benchout)")
+	flagBenchOut = flag.String("benchout", "BENCH_simcore.json", "output path for the simbench JSON report")
+	flagBenchRef = flag.String("benchbaseline", "", "optional previous simbench JSON to embed as the before column")
+	flagCPUProf  = flag.String("cpuprofile", "", "write a CPU profile of the simbench workloads to this file")
+	flagMemProf  = flag.String("memprofile", "", "write an allocation profile of the simbench workloads to this file")
+	flagReps     = flag.Int("benchreps", 3, "repetitions per simbench workload (best wall time is reported)")
+)
+
+func init() { extraSections = append(extraSections, runSimBench) }
+
+// simBenchResult is one workload's measurement. The wall-clock fields
+// (WallSeconds, EventsPerSec, NsPerCell, AllocsPerCell) vary run to run
+// with the host machine; the Check map holds the simulated results,
+// which must be bit-for-bit stable for a fixed seed.
+type simBenchResult struct {
+	Name          string             `json:"name"`
+	WallSeconds   float64            `json:"wall_seconds"`
+	SimSeconds    float64            `json:"sim_seconds"`
+	Events        uint64             `json:"events"`
+	Cells         int64              `json:"cells"`
+	Allocs        uint64             `json:"allocs"`
+	EventsPerSec  float64            `json:"events_per_sec"`
+	NsPerCell     float64            `json:"ns_per_cell"`
+	AllocsPerCell float64            `json:"allocs_per_cell"`
+	Check         map[string]float64 `json:"check"`
+}
+
+// simBenchReport is the BENCH_simcore.json schema. Baseline carries the
+// same workloads measured before the event-core overhaul when a previous
+// report is supplied with -benchbaseline.
+type simBenchReport struct {
+	Schema    string           `json:"schema"`
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	Baseline  []simBenchResult `json:"baseline,omitempty"`
+	Results   []simBenchResult `json:"results"`
+}
+
+// best runs one workload -benchreps times (a fresh system each time)
+// and keeps the repetition with the lowest wall time; the simulated
+// quantities are deterministic, so only the wall-clock noise varies.
+func best(bench func() simBenchResult) simBenchResult {
+	reps := *flagReps
+	if reps < 1 {
+		reps = 1
+	}
+	r := bench()
+	for i := 1; i < reps; i++ {
+		if n := bench(); n.WallSeconds < r.WallSeconds {
+			n.Check = r.Check // identical by determinism
+			r = n
+		}
+	}
+	return r
+}
+
+// measure runs fn with the memory accounting bracketed, attributing the
+// wall time, allocation delta, executed events, and simulated cells to
+// one named workload. Setup (testbed construction) happens in the
+// caller, outside the bracket, so steady-state per-cell costs dominate.
+func measure(name string, fn func() (events uint64, simTime time.Duration, cells int64, check map[string]float64)) simBenchResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	events, simTime, cells, check := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	r := simBenchResult{
+		Name:        name,
+		WallSeconds: wall.Seconds(),
+		SimSeconds:  simTime.Seconds(),
+		Events:      events,
+		Cells:       cells,
+		Allocs:      allocs,
+		Check:       check,
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if cells > 0 {
+		r.NsPerCell = float64(wall.Nanoseconds()) / float64(cells)
+		r.AllocsPerCell = float64(allocs) / float64(cells)
+	}
+	return r
+}
+
+// benchFig3Receive measures the Figure 3 receive path: the DEC 3000/600
+// double-cell DMA configuration absorbing fictitious UDP/IP traffic —
+// the workload whose plateau the paper shows is link-limited, so any
+// simulator overhead here directly stretches the wall clock.
+func benchFig3Receive() simBenchResult {
+	opt := alOptions()
+	opt.Board = board.Config{RxDMA: board.DoubleCell}
+	tb := core.NewTestbed(opt)
+	defer tb.Shutdown()
+	const msgSize, count = 65536, 32
+	return measure("fig3_receive_64k", func() (uint64, time.Duration, int64, map[string]float64) {
+		ev0 := tb.Eng.Events()
+		mbps, err := tb.RunReceiveThroughput(msgSize, count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench fig3: %v\n", err)
+		}
+		st := tb.B.Board.Stats()
+		return tb.Eng.Events() - ev0, time.Duration(tb.Eng.Now()), st.CellsRx, map[string]float64{
+			"mbps":     mbps,
+			"cells_rx": float64(st.CellsRx),
+		}
+	})
+}
+
+// benchFanIn measures the switched fan-in workload: 4 clients blasting
+// UDP/IP messages at one server through the cell switch, the overload
+// regime where the fabric's output queue drops cells. The drop count is
+// part of the determinism check.
+func benchFanIn() simBenchResult {
+	const clients, msgSize, count = 4, 8192, 25
+	cl := core.NewCluster(core.Options{}, clients+1)
+	defer cl.Shutdown()
+	return measure("fanin_4x8k", func() (uint64, time.Duration, int64, map[string]float64) {
+		ev0 := cl.Eng.Events()
+		res, err := cl.RunFanIn(workload.FanIn{Clients: clients, MessageBytes: msgSize, Messages: count})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench fanin: %v\n", err)
+			return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), 0, nil
+		}
+		cells := res.SwitchForwarded + res.SwitchDropped
+		return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), cells, map[string]float64{
+			"delivered":      float64(res.Delivered),
+			"switch_dropped": float64(res.SwitchDropped),
+			"aggregate_mbps": res.AggregateMbps,
+		}
+	})
+}
+
+func runSimBench() {
+	if !*flagSimBench {
+		return
+	}
+	fmt.Println("== Simulator core wall-clock benchmarks ==")
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	report := simBenchReport{
+		Schema:    "osiris-simbench/1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Results: []simBenchResult{
+			best(benchFig3Receive),
+			best(benchFanIn),
+		},
+	}
+
+	if *flagBenchRef != "" {
+		data, err := os.ReadFile(*flagBenchRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: benchbaseline: %v\n", err)
+			os.Exit(1)
+		}
+		var prev simBenchReport
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: benchbaseline: %v\n", err)
+			os.Exit(1)
+		}
+		report.Baseline = prev.Results
+	}
+
+	if *flagMemProf != "" {
+		f, err := os.Create(*flagMemProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: memprofile: %v\n", err)
+		}
+		f.Close()
+	}
+
+	for _, r := range report.Results {
+		fmt.Printf("%-18s %8.0f events/s  %7.0f ns/cell  %6.2f allocs/cell  (sim %v in wall %v)\n",
+			r.Name, r.EventsPerSec, r.NsPerCell, r.AllocsPerCell,
+			time.Duration(r.SimSeconds*1e9).Round(time.Microsecond),
+			time.Duration(r.WallSeconds*1e9).Round(time.Microsecond))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagBenchOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagBenchOut)
+}

@@ -70,6 +70,22 @@ type LinkConfig struct {
 	LossRate float64
 }
 
+// deterministic reports whether the configuration draws no randomness
+// per cell, so the link can compute every serialization and delivery
+// time arithmetically. Only the skew models known to ignore the RNG
+// qualify; a custom SkewModel conservatively falls back to the paced
+// per-cell event machine.
+func (cfg LinkConfig) deterministic() bool {
+	if cfg.LossRate > 0 {
+		return false
+	}
+	switch cfg.Skew.(type) {
+	case NoSkew, ConstantSkew:
+		return true
+	}
+	return false
+}
+
 // LinkStats counts link activity.
 type LinkStats struct {
 	Sent      int64
@@ -77,19 +93,51 @@ type LinkStats struct {
 	Lost      int64
 }
 
+// linkCell is one in-flight cell of a deterministic link's train:
+// serStart is the instant its transmit-FIFO slot frees (when the old
+// pacing process would have dequeued it to start serialization), and
+// deliver is the instant the receiver callback runs.
+type linkCell struct {
+	c        Cell
+	serStart sim.Time
+	deliver  sim.Time
+}
+
 // Link is one unidirectional physical link. Cells submitted with Send
 // are paced out at line rate and delivered, in order, to the receiver
 // callback after propagation delay plus model skew.
+//
+// When the configuration is loss-free and its skew model draws no
+// randomness, the link runs in cell-train mode: serialization times are
+// computed arithmetically at Send, queued cells form a train of
+// precomputed delivery instants, and a single walker event re-arms
+// itself along the train — no pacing goroutine, no per-cell scheduling
+// events, and the same simulated timings as the paced machine. Lossy or
+// randomly skewed configurations fall back to a per-cell pacing process
+// so the RNG is consumed cell by cell in the original draw order.
 type Link struct {
 	eng         *sim.Engine
 	cfg         LinkConfig
-	queue       *sim.Chan[Cell]
+	cellTime    time.Duration
 	lastDeliver sim.Time
 	deliver     func(c Cell, link int)
 	stats       LinkStats
+
+	// Paced (fallback) mode.
+	queue *sim.Chan[Cell]
+
+	// Cell-train (deterministic) mode.
+	det         bool
+	train       []linkCell // ring buffer, grown on demand
+	head, count int
+	frontier    sim.Time // serialization end of the newest accepted cell
+	walkerArmed bool
+	slotArmed   bool
+	notFull     *sim.Cond
 }
 
-// NewLink creates a link and starts its pacing process.
+// NewLink creates a link; lossy or randomly skewed configurations also
+// start a pacing process.
 func NewLink(e *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.RateBps == 0 {
 		cfg.RateBps = DefaultLinkRate
@@ -103,19 +151,21 @@ func NewLink(e *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.Skew == nil {
 		cfg.Skew = NoSkew{}
 	}
-	l := &Link{
-		eng:   e,
-		cfg:   cfg,
-		queue: sim.NewChan[Cell](e, cfg.FIFODepth),
+	l := &Link{eng: e, cfg: cfg}
+	l.cellTime = time.Duration(int64(CellSize*8) * int64(time.Second) / cfg.RateBps)
+	if cfg.deterministic() {
+		l.det = true
+		l.train = make([]linkCell, cfg.FIFODepth+4)
+		l.notFull = sim.NewCond(e)
+		return l
 	}
+	l.queue = sim.NewChan[Cell](e, cfg.FIFODepth)
 	e.Go("link-pacer", l.pace)
 	return l
 }
 
 // CellTime returns the serialization time of one cell at line rate.
-func (l *Link) CellTime() time.Duration {
-	return time.Duration(int64(CellSize*8) * int64(time.Second) / l.cfg.RateBps)
-}
+func (l *Link) CellTime() time.Duration { return l.cellTime }
 
 // SetReceiver installs the delivery callback. It runs in engine (event)
 // context, so it must not block; typically it pushes into the receiving
@@ -126,8 +176,132 @@ func (l *Link) SetReceiver(fn func(c Cell, link int)) { l.deliver = fn }
 // transmit FIFO is full — the backpressure the board's segmentation
 // loop experiences.
 func (l *Link) Send(p *sim.Proc, c Cell) {
-	l.queue.Send(p, c)
+	if !l.det {
+		l.queue.Send(p, c)
+		l.stats.Sent++
+		return
+	}
+	// The transmit FIFO is virtual: a queued cell occupies a slot from
+	// Send until its serialization starts, exactly when the paced
+	// machine's dequeue would have freed it.
+	for l.queued(l.eng.Now()) >= l.cfg.FIFODepth {
+		l.armSlotWake()
+		l.notFull.Wait(p)
+	}
+	now := l.eng.Now()
+	serStart := now
+	if l.frontier > serStart {
+		serStart = l.frontier
+	}
+	serEnd := serStart.Add(l.cellTime)
+	l.frontier = serEnd
+	// Skew models in train mode never draw; passing a nil RNG turns any
+	// violation of that invariant into a loud failure instead of silent
+	// nondeterminism.
+	at := serEnd.Add(l.cfg.PropDelay + l.cfg.Skew.Delay(l.cfg.Index, nil))
+	if at <= l.lastDeliver {
+		at = l.lastDeliver + 1 // preserve per-link FIFO order
+	}
+	l.lastDeliver = at
+	l.push(linkCell{c: c, serStart: serStart, deliver: at})
 	l.stats.Sent++
+	if !l.walkerArmed {
+		l.walkerArmed = true
+		l.eng.AtCall(at, linkDeliverCB, l)
+	}
+	if l.notFull.Waiting() > 0 {
+		l.armSlotWake()
+	}
+}
+
+// queued counts train cells still occupying a transmit-FIFO slot at
+// instant now (serialization not yet started). Entries are in push
+// order with nondecreasing serStart, so scan from the newest.
+func (l *Link) queued(now sim.Time) int {
+	n := 0
+	for i := l.count - 1; i >= 0; i-- {
+		if l.at(i).serStart <= now {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// armSlotWake schedules a wakeup at the next serialization boundary —
+// the instant the paced machine's dequeue would have signalled a
+// blocked sender — unless one is already pending.
+func (l *Link) armSlotWake() {
+	if l.slotArmed {
+		return
+	}
+	now := l.eng.Now()
+	for i := 0; i < l.count; i++ {
+		if s := l.at(i).serStart; s > now {
+			l.slotArmed = true
+			l.eng.AtCall(s, linkSlotCB, l)
+			return
+		}
+	}
+}
+
+// linkSlotCB fires at a serialization boundary: one virtual FIFO slot
+// has freed, so wake the longest-blocked sender. The resumed sender
+// re-arms for remaining waiters from its Send.
+func linkSlotCB(a any) {
+	l := a.(*Link)
+	l.slotArmed = false
+	l.notFull.Signal()
+}
+
+// linkDeliverCB is the train walker: deliver the front cell, then
+// re-arm for the next one. Deliveries are strictly increasing per link,
+// so a single event walks the whole train.
+func linkDeliverCB(a any) {
+	l := a.(*Link)
+	e := l.pop()
+	l.stats.Delivered++
+	if l.deliver != nil {
+		l.deliver(e.c, l.cfg.Index)
+	}
+	if l.count > 0 {
+		l.eng.AtCall(l.at(0).deliver, linkDeliverCB, l)
+	} else {
+		l.walkerArmed = false
+	}
+}
+
+// at returns the i-th train entry in FIFO order.
+func (l *Link) at(i int) *linkCell {
+	j := l.head + i
+	if j >= len(l.train) {
+		j -= len(l.train)
+	}
+	return &l.train[j]
+}
+
+func (l *Link) push(e linkCell) {
+	if l.count == len(l.train) {
+		grown := make([]linkCell, 2*len(l.train))
+		for i := 0; i < l.count; i++ {
+			grown[i] = *l.at(i)
+		}
+		l.train = grown
+		l.head = 0
+	}
+	*l.at(l.count) = e
+	l.count++
+}
+
+func (l *Link) pop() linkCell {
+	e := *l.at(0)
+	*l.at(0) = linkCell{}
+	l.head++
+	if l.head >= len(l.train) {
+		l.head = 0
+	}
+	l.count--
+	return e
 }
 
 // Stats returns a snapshot of the counters, by value. The snapshot is
@@ -138,10 +312,13 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 // Delivered or Lost. After Shutdown the counters are final and stable.
 func (l *Link) Stats() LinkStats { return l.stats }
 
+// pace is the fallback per-cell machine for lossy or randomly skewed
+// links: it consumes the engine RNG one cell at a time, in serialization
+// order, which the arithmetic train cannot reproduce.
 func (l *Link) pace(p *sim.Proc) {
 	for {
 		c := l.queue.Recv(p)
-		p.Sleep(l.CellTime()) // serialization
+		p.Sleep(l.cellTime) // serialization
 		if l.cfg.LossRate > 0 && l.eng.Rand().Float64() < l.cfg.LossRate {
 			l.stats.Lost++
 			continue

@@ -1,0 +1,63 @@
+package atm
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// measureLinkRun sends cells through l from a fresh proc and returns
+// the heap allocations the whole run performed.
+func measureLinkRun(e *sim.Engine, l *Link, cells int) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < cells; i++ {
+			l.Send(p, Cell{Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// A deterministic link runs in train mode: serialization and delivery
+// times are arithmetic, one pooled walker event drains the train, and
+// the Send→deliver path must not allocate per cell. The bound leaves
+// room for the fixed per-run cost (one proc + goroutine) only — the old
+// closure-per-cell design would exceed it by two orders of magnitude.
+func TestLinkSendDeliverSteadyStateAllocs(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Shutdown()
+	l := NewLink(e, LinkConfig{PropDelay: time.Microsecond})
+	delivered := 0
+	l.SetReceiver(func(Cell, int) { delivered++ })
+
+	const warm, cells = 200, 2000
+	measureLinkRun(e, l, warm) // warm the event pool and train ring
+	allocs := measureLinkRun(e, l, cells)
+	if delivered != warm+cells {
+		t.Fatalf("delivered %d cells, want %d", delivered, warm+cells)
+	}
+	if allocs > 64 {
+		t.Errorf("sending %d cells allocated %d objects, want ≤ 64", cells, allocs)
+	}
+}
+
+func BenchmarkLinkSendDeliver(b *testing.B) {
+	e := sim.NewEngine(1)
+	defer e.Shutdown()
+	l := NewLink(e, LinkConfig{PropDelay: time.Microsecond})
+	n := 0
+	l.SetReceiver(func(Cell, int) { n++ })
+	b.ReportAllocs()
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			l.Send(p, Cell{Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+}

@@ -264,7 +264,48 @@ type Board struct {
 	rxCmds  *sim.Chan[rxCmd]
 	fireCtl *sim.Chan[fictReq]
 
+	// Scratch pools for the per-cell slices carried in DMA commands;
+	// the processors take, the DMA engines return. Host-side memory
+	// reuse only — no simulated effect.
+	segPool  [][]mem.PhysBuffer
+	dataPool [][]byte
+
 	stats Stats
+}
+
+// getSegs takes a recycled extent slice (or makes one).
+func (b *Board) getSegs() []mem.PhysBuffer {
+	if n := len(b.segPool); n > 0 {
+		s := b.segPool[n-1]
+		b.segPool = b.segPool[:n-1]
+		return s[:0]
+	}
+	return make([]mem.PhysBuffer, 0, 2)
+}
+
+// putSegs returns an extent slice consumed by a DMA engine.
+func (b *Board) putSegs(s []mem.PhysBuffer) {
+	if s != nil {
+		b.segPool = append(b.segPool, s)
+	}
+}
+
+// getRxData takes a recycled receive staging buffer (or makes one big
+// enough for a double-cell DMA).
+func (b *Board) getRxData() []byte {
+	if n := len(b.dataPool); n > 0 {
+		d := b.dataPool[n-1]
+		b.dataPool = b.dataPool[:n-1]
+		return d[:0]
+	}
+	return make([]byte, 0, 2*atm.CellPayload)
+}
+
+// putRxData returns a staging buffer consumed by the receive DMA engine.
+func (b *Board) putRxData(d []byte) {
+	if d != nil {
+		b.dataPool = append(b.dataPool, d)
+	}
 }
 
 type rxCell struct {

@@ -171,20 +171,21 @@ func (rs *reasmState) errorDetected(width int) bool {
 }
 
 // extent returns the host-memory extents covering [off, off+n) of the
-// PDU, popping free buffers as needed (and splitting across buffer
-// boundaries, the receive-side analogue of the boundary-stop DMA). A nil
-// return with ok=false means the channel is out of receive buffers.
-func (rs *reasmState) extent(off, n int, pop func() (queue.Desc, bool)) (segs []mem.PhysBuffer, ok bool) {
+// PDU appended to segs (a caller-supplied scratch slice), popping free
+// buffers as needed (and splitting across buffer boundaries, the
+// receive-side analogue of the boundary-stop DMA). ok=false means the
+// channel is out of receive buffers.
+func (rs *reasmState) extent(off, n int, segs []mem.PhysBuffer, pop func() (queue.Desc, bool)) ([]mem.PhysBuffer, bool) {
 	for off+n > rs.covered {
 		d, got := pop()
 		if !got {
-			return nil, false
+			return segs, false
 		}
 		rs.bufs = append(rs.bufs, rxBuf{desc: d, base: rs.covered})
 		rs.covered += int(d.Len)
 	}
 	if n == 0 {
-		return nil, true
+		return segs, true
 	}
 	// Locate the buffer containing off (linear scan; buffer lists are
 	// short) and slice the range across boundaries.

@@ -96,7 +96,7 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		return
 	}
 
-	data := make([]byte, 0, 2*atm.CellPayload)
+	data := b.getRxData()
 	data = append(data, rc.c.Payload[:dataLen]...)
 	n := dataLen
 	combined := false
@@ -122,6 +122,7 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 	}
 
 	if rs.dropping {
+		b.putRxData(data)
 		if complete {
 			b.finishRxPDU(p, ch, rs, false)
 		}
@@ -130,12 +131,15 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 
 	if !complete && b.cfg.Strategy != ArrivalOrder && rs.errorDetected(b.cfg.StripeWidth) {
 		// Cells were lost in the network: discard the PDU (AAL5-style).
+		b.putRxData(data)
 		b.finishRxPDU(p, ch, rs, false)
 		return
 	}
 
-	segs, haveBufs := rs.extent(off, n, func() (queue.Desc, bool) { return b.popFree(p, ch) })
+	segs, haveBufs := rs.extent(off, n, b.getSegs(), func() (queue.Desc, bool) { return b.popFree(p, ch) })
 	if !haveBufs {
+		b.putRxData(data)
+		b.putSegs(segs)
 		if debugDrops {
 			println("DROP at", int64(p.Now()), "vci", int(rc.c.VCI), "off", off, "stash", len(ch.stash))
 		}
@@ -214,5 +218,7 @@ func (b *Board) rxDMAEngine(p *sim.Proc) {
 		for _, d := range cmd.pushes {
 			b.pushRecvDesc(p, cmd.ch, d)
 		}
+		b.putRxData(cmd.data)
+		b.putSegs(cmd.segs)
 	}
 }

@@ -154,9 +154,10 @@ func (b *Board) checkNotifyFlag(p *sim.Proc, ch *Channel) {
 }
 
 // take walks the descriptor chain gathering up to want bytes as physical
-// extents. With single set (FixedCell policy) it stops at the first
-// buffer boundary, which is what forces mid-PDU partial cells.
-func (st *txStream) take(want int, single bool) (segs []mem.PhysBuffer, taken int) {
+// extents appended to segs (a caller-supplied scratch slice). With
+// single set (FixedCell policy) it stops at the first buffer boundary,
+// which is what forces mid-PDU partial cells.
+func (st *txStream) take(want int, single bool, segs []mem.PhysBuffer) (_ []mem.PhysBuffer, taken int) {
 	for taken < want && st.descIdx < len(st.descs) {
 		d := st.descs[st.descIdx]
 		avail := int(d.Len) - st.descOff
@@ -199,7 +200,7 @@ func (b *Board) emitCell(p *sim.Proc, ch *Channel) {
 	}
 
 	if b.cfg.TxPolicy == FixedCell {
-		segs, taken := st.take(want, true)
+		segs, taken := st.take(want, true, b.getSegs())
 		st.bytePos += taken
 		cmd.segs = segs
 		cmd.dataLen = taken
@@ -231,7 +232,7 @@ func (b *Board) emitCell(p *sim.Proc, ch *Channel) {
 
 	// BoundaryStop / ArbitraryLength: cells are always full; a cell
 	// spanning a buffer boundary is composed from two DMA segments.
-	segs, taken := st.take(want, false)
+	segs, taken := st.take(want, false, b.getSegs())
 	if taken != want {
 		panic("board: descriptor chain shorter than PDU length")
 	}
@@ -323,6 +324,7 @@ func (b *Board) txDMAEngine(p *sim.Proc) {
 			b.eng.Tracef("cell: %s tx vci=%d link=%d len=%d", b.cfg.Name, cell.VCI, cmd.linkIdx, cell.Len)
 		}
 		b.deliverCell(p, cell, cmd.linkIdx)
+		b.putSegs(cmd.segs)
 		if cmd.advance > 0 {
 			if b.cfg.InterruptPerPDU {
 				// Traditional transmit-complete interrupt (§2.1.2's

@@ -112,7 +112,7 @@ type rdpSession struct {
 	sendBase uint32 // oldest unacknowledged sequence number
 	nextSeq  uint32
 	unacked  map[uint32][]byte
-	timer    *sim.Event
+	timer    sim.Event
 	notFull  *sim.Cond
 	acked    *sim.Cond
 	retxWork *sim.Cond
@@ -195,12 +195,12 @@ func (s *rdpSession) sendSegment(p *sim.Proc, typ byte, seq uint32, payload []by
 }
 
 func (s *rdpSession) armTimer() {
-	if s.timer != nil || s.sendBase == s.nextSeq {
+	if s.timer.Pending() || s.sendBase == s.nextSeq {
 		return
 	}
 	eng := s.r.host.Eng
 	s.timer = eng.After(s.addr.RetransmitTimeout, func() {
-		s.timer = nil
+		s.timer = sim.Event{}
 		if s.closed || s.sendBase == s.nextSeq {
 			return
 		}
@@ -210,10 +210,8 @@ func (s *rdpSession) armTimer() {
 }
 
 func (s *rdpSession) cancelTimer() {
-	if s.timer != nil {
-		s.r.host.Eng.Cancel(s.timer)
-		s.timer = nil
-	}
+	s.r.host.Eng.Cancel(s.timer)
+	s.timer = sim.Event{}
 }
 
 // retransmitter is the session's timeout thread: on each timer firing it

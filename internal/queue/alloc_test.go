@@ -1,0 +1,47 @@
+package queue
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/sim"
+)
+
+// Ring push/pop rides the simulated bus (timed port accesses), so its
+// allocation behavior depends on the event core: with pooled events a
+// warm steady state must be allocation-free.
+func TestRingPushPopSteadyStateAllocs(t *testing.T) {
+	e, d := newRig()
+	defer e.Shutdown()
+	r := NewRing(d, 0, 8)
+	var allocs uint64
+	e.Go("host", func(p *sim.Proc) {
+		r.Init(p, dpm.Host)
+		d := Desc{Addr: 0x1000, Len: 44}
+		for i := 0; i < 16; i++ { // warm the event pool
+			r.TryPush(p, dpm.Host, d)
+			r.TryPop(p, dpm.Board)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		const ops = 1000
+		for i := 0; i < ops; i++ {
+			if !r.TryPush(p, dpm.Host, d) {
+				t.Error("push failed")
+				return
+			}
+			if _, ok := r.TryPop(p, dpm.Board); !ok {
+				t.Error("pop failed")
+				return
+			}
+		}
+		runtime.ReadMemStats(&after)
+		allocs = after.Mallocs - before.Mallocs
+	})
+	e.Run()
+	if allocs > 16 {
+		t.Errorf("%d push/pop pairs allocated %d objects, want ≤ 16", 1000, allocs)
+	}
+}

@@ -4,13 +4,16 @@ package sim
 // analog for the simulation world. Send blocks while the channel is full,
 // Recv blocks while it is empty. A capacity of zero is not supported
 // (rendezvous can be built from two capacity-1 channels when needed).
+//
+// The buffer is a fixed ring allocated at construction, so steady-state
+// send/recv traffic allocates nothing.
 type Chan[T any] struct {
 	eng      *Engine
-	buf      []T
-	capacity int
+	buf      []T // fixed ring of len == capacity
+	head     int // index of the oldest item
+	count    int
 	notEmpty *Cond
 	notFull  *Cond
-	closed   bool
 }
 
 // NewChan returns a channel with the given capacity (which must be
@@ -21,30 +24,54 @@ func NewChan[T any](e *Engine, capacity int) *Chan[T] {
 	}
 	return &Chan[T]{
 		eng:      e,
-		capacity: capacity,
+		buf:      make([]T, capacity),
 		notEmpty: NewCond(e),
 		notFull:  NewCond(e),
 	}
 }
 
 // Len reports the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.count }
 
 // Cap reports the channel capacity.
-func (c *Chan[T]) Cap() int { return c.capacity }
+func (c *Chan[T]) Cap() int { return len(c.buf) }
 
 // Full reports whether a Send would block.
-func (c *Chan[T]) Full() bool { return len(c.buf) >= c.capacity }
+func (c *Chan[T]) Full() bool { return c.count >= len(c.buf) }
 
 // Empty reports whether a Recv would block.
-func (c *Chan[T]) Empty() bool { return len(c.buf) == 0 }
+func (c *Chan[T]) Empty() bool { return c.count == 0 }
+
+// push appends v to the ring; the caller has checked for room.
+func (c *Chan[T]) push(v T) {
+	i := c.head + c.count
+	if i >= len(c.buf) {
+		i -= len(c.buf)
+	}
+	c.buf[i] = v
+	c.count++
+}
+
+// pop removes and returns the oldest item; the caller has checked
+// non-emptiness.
+func (c *Chan[T]) pop() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero
+	c.head++
+	if c.head >= len(c.buf) {
+		c.head = 0
+	}
+	c.count--
+	return v
+}
 
 // Send enqueues v, blocking p while the channel is full.
 func (c *Chan[T]) Send(p *Proc, v T) {
 	for c.Full() {
 		c.notFull.Wait(p)
 	}
-	c.buf = append(c.buf, v)
+	c.push(v)
 	c.notEmpty.Signal()
 }
 
@@ -54,7 +81,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 	if c.Full() {
 		return false
 	}
-	c.buf = append(c.buf, v)
+	c.push(v)
 	c.notEmpty.Signal()
 	return true
 }
@@ -64,10 +91,7 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	for c.Empty() {
 		c.notEmpty.Wait(p)
 	}
-	v := c.buf[0]
-	var zero T
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
+	v := c.pop()
 	c.notFull.Signal()
 	return v
 }
@@ -79,9 +103,7 @@ func (c *Chan[T]) TryRecv() (T, bool) {
 	if c.Empty() {
 		return zero, false
 	}
-	v := c.buf[0]
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
+	v := c.pop()
 	c.notFull.Signal()
 	return v, true
 }
@@ -92,5 +114,5 @@ func (c *Chan[T]) Peek() (T, bool) {
 	if c.Empty() {
 		return zero, false
 	}
-	return c.buf[0], true
+	return c.buf[c.head], true
 }

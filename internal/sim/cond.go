@@ -31,14 +31,13 @@ func (c *Cond) Signal() {
 	p := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.eng.At(c.eng.now, func() { p.resume() })
+	c.eng.AtCall(c.eng.now, resumeProc, p)
 }
 
 // Broadcast wakes all waiting procs in FIFO order.
 func (c *Cond) Broadcast() {
 	for _, p := range c.waiters {
-		p := p
-		c.eng.At(c.eng.now, func() { p.resume() })
+		c.eng.AtCall(c.eng.now, resumeProc, p)
 	}
 	c.waiters = c.waiters[:0]
 }

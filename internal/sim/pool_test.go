@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+)
+
+// --- Stop-before-Run semantics (documented on Engine.Stop) ---
+
+func TestStopBeforeRunHonoredByNextRun(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	fired := false
+	e.At(10, func() { fired = true })
+	e.Stop()
+	e.Run()
+	if fired {
+		t.Fatal("Run after a pre-Run Stop executed an event")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v across a stopped Run", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (stopped Run must not drain)", e.Pending())
+	}
+	// The stop is consumed: the next Run proceeds normally.
+	e.Run()
+	if !fired {
+		t.Fatal("event lost after the consumed stop")
+	}
+}
+
+func TestStopBeforeRunDoesNotStack(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	count := 0
+	e.At(10, func() { count++ })
+	e.Stop()
+	e.Stop() // idempotent: one flag, not a counter
+	e.Run()
+	if count != 0 {
+		t.Fatal("stopped Run executed an event")
+	}
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after the single consumed stop", count)
+	}
+}
+
+// --- Pooled-event handle semantics ---
+
+// A handle to a fired event must stay inert even after its storage is
+// recycled for a new event: Cancel through the stale handle is a no-op.
+func TestCancelStaleHandleDoesNotKillReusedNode(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	stale := e.At(1, func() {})
+	e.Run() // fires and recycles the node
+
+	reused := false
+	fresh := e.At(2, func() { reused = true })
+	if fresh.n != stale.n {
+		t.Fatal("free list did not reuse the node; test premise broken")
+	}
+	e.Cancel(stale) // stale generation: must not touch the new event
+	e.Run()
+	if !reused {
+		t.Fatal("stale Cancel killed a reused event")
+	}
+}
+
+func TestPendingAndCancelledTrackGenerations(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	ev := e.At(5, func() {})
+	if !ev.Pending() || ev.Cancelled() {
+		t.Fatalf("fresh event: Pending=%v Cancelled=%v", ev.Pending(), ev.Cancelled())
+	}
+	e.Cancel(ev)
+	if ev.Pending() || !ev.Cancelled() {
+		t.Fatalf("after Cancel: Pending=%v Cancelled=%v", ev.Pending(), ev.Cancelled())
+	}
+	var zero Event
+	if zero.Pending() || zero.Cancelled() || !zero.IsZero() {
+		t.Fatal("zero Event must be inert")
+	}
+}
+
+func TestEventsCountsFiredEvents(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	cancelled := e.At(100, func() {})
+	e.Cancel(cancelled)
+	e.Run()
+	if e.Events() != 5 {
+		t.Fatalf("Events() = %d, want 5 (cancelled events don't fire)", e.Events())
+	}
+}
+
+// --- Steady-state allocation regression pins ---
+
+// Once the free list is warm, scheduling and cancelling must not
+// allocate: the node comes from the pool and func/pointer values box
+// into `any` without heap allocation.
+func TestAtCancelZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	ev := e.At(1, func() {})
+	e.Cancel(ev) // warm the free list
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := e.At(1, func() {})
+		e.Cancel(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("At+Cancel allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestAtCallZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	sink := 0
+	cb := func(a any) { sink += *a.(*int) }
+	arg := new(int)
+	ev := e.AtCall(1, cb, arg)
+	e.Cancel(ev)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := e.AtCall(1, cb, arg)
+		e.Cancel(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("AtCall+Cancel allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// Firing events must recycle nodes rather than leak them: a
+// schedule-and-run cycle in steady state performs zero allocations.
+func TestScheduleFireZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	var tick Time
+	next := func() Time { tick++; return tick }
+	e.At(next(), func() {})
+	e.Run() // warm pool and Run machinery
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.At(next(), func() {})
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("At+Run allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// The ring-buffer Chan must not allocate on the send/recv fast path.
+func TestChanZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	c := NewChan[int](e, 8)
+	c.TrySend(1)
+	c.TryRecv()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.TrySend(7)
+		c.TryRecv()
+	})
+	if allocs != 0 {
+		t.Errorf("Chan TrySend+TryRecv allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// --- Event-core micro-benchmarks (exercised by the CI bench smoke) ---
+
+func BenchmarkAtFire(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	var tick Time
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tick++
+		e.At(tick, func() {})
+		e.Run()
+	}
+}
+
+func BenchmarkAtCancel(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.At(1, func() {}))
+	}
+}
+
+func BenchmarkChanTrySendTryRecv(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	c := NewChan[int](e, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.TrySend(i)
+		c.TryRecv()
+	}
+}
+
+// With an empty queue the zero-length sleep takes the quiet fast path:
+// no event, no goroutine handoff.
+func BenchmarkSleepZeroFastPath(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Shutdown()
+	b.ReportAllocs()
+	e.Go("spin", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(0)
+		}
+	})
+	e.Run()
+}

@@ -49,9 +49,15 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	e.procs = append(e.procs, p)
 	go p.run(fn)
-	e.At(e.now, func() { p.resume() })
+	e.AtCall(e.now, resumeProc, p)
 	return p
 }
+
+// resumeProc is the closure-free wakeup callback shared by every proc
+// scheduling point: Sleep, Cond signals, Resource handoff, channel
+// operations. A *Proc boxed into any stores a pointer, so scheduling a
+// wakeup with AtCall(t, resumeProc, p) allocates nothing.
+func resumeProc(a any) { a.(*Proc).resume() }
 
 func (p *Proc) run(fn func(p *Proc)) {
 	<-p.resumeCh // wait for the start event
@@ -110,28 +116,40 @@ func (p *Proc) block() {
 }
 
 // Sleep suspends the proc for d of virtual time.
+//
+// A zero-length sleep is a scheduling point: any event already queued
+// at the current instant runs before Sleep returns. When no such event
+// exists (and no Stop is pending), the proc's wakeup would be the very
+// next event executed, so Sleep returns immediately instead of paying
+// the event and goroutine round-trip — the simulated behaviour is
+// identical either way.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: proc %s: negative sleep %v", p.name, d))
 	}
 	if d == 0 {
-		// Still go through the event queue so a zero-length sleep is a
-		// scheduling point, matching the behaviour callers expect.
-		p.eng.At(p.eng.now, func() { p.resume() })
+		if p.eng.quietNow() {
+			return
+		}
+		p.eng.AtCall(p.eng.now, resumeProc, p)
 		p.block()
 		return
 	}
-	p.eng.After(d, func() { p.resume() })
+	p.eng.AtCall(p.eng.now.Add(d), resumeProc, p)
 	p.block()
 }
 
 // SleepUntil suspends the proc until instant t (a no-op scheduling point
-// if t is not after the current time).
+// if t is not after the current time, with the same fast path as a
+// zero-length Sleep).
 func (p *Proc) SleepUntil(t Time) {
-	if t < p.eng.now {
+	if t <= p.eng.now {
+		if p.eng.quietNow() {
+			return
+		}
 		t = p.eng.now
 	}
-	p.eng.At(t, func() { p.resume() })
+	p.eng.AtCall(t, resumeProc, p)
 	p.block()
 }
 

@@ -51,7 +51,7 @@ func (r *Resource) Release() {
 	r.queue = r.queue[:len(r.queue)-1]
 	r.holder = next
 	r.busySince = r.eng.now
-	r.eng.At(r.eng.now, func() { next.resume() })
+	r.eng.AtCall(r.eng.now, resumeProc, next)
 }
 
 // Use acquires the resource, holds it for d of virtual time, and

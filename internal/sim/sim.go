@@ -7,12 +7,18 @@
 // exactly one of them is runnable at any instant and every run of a
 // simulation is bit-for-bit reproducible.
 //
+// The event queue is allocation-free in steady state: fired and
+// cancelled events return their storage to an engine-owned free list,
+// and the closure-free scheduling forms (AtCall, AfterCall) let hot
+// paths schedule without materializing a closure per event. Stale
+// handles to recycled events are detected with a generation counter, so
+// cancelling an event that already fired is always safe.
+//
 // Virtual time is measured in integer nanoseconds (type Time); durations
 // use the standard time.Duration, which has the same resolution.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,60 +42,59 @@ func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// eventNode is the engine-owned storage behind an Event handle. Nodes
+// are pooled: when an event fires or is cancelled, its node goes back
+// on the engine's free list with the generation counter bumped, so
+// operations through a stale handle are detected and ignored.
+type eventNode struct {
+	at           Time
+	seq          uint64
+	cb           func(any)
+	arg          any
+	index        int    // heap index, -1 while off the heap
+	gen          uint64 // bumped on every recycle; live handles match it
+	cancelledGen uint64 // generation of the most recent cancellation
+	free         *eventNode
+}
+
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so the caller may cancel it. The zero Event is valid and
+// refers to nothing (Cancel on it is a no-op). Handles stay safe after
+// the event fires: the underlying storage is recycled, and a stale
+// handle is recognized by its generation and ignored.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 once fired or cancelled
-	cancel bool
+	n   *eventNode
+	gen uint64
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (ev *Event) Cancelled() bool { return ev.cancel }
+// IsZero reports whether the handle was never assigned a scheduled
+// event.
+func (ev Event) IsZero() bool { return ev.n == nil }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []*Event
+// Pending reports whether the event is still scheduled: it has neither
+// fired nor been cancelled.
+func (ev Event) Pending() bool { return ev.n != nil && ev.n.gen == ev.gen }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Cancelled reports whether Cancel was called on this event before it
+// fired. The answer is reliable until the engine reuses the event's
+// storage for a later scheduling that is also cancelled; code that
+// needs a durable record of a cancellation should keep its own flag.
+func (ev Event) Cancelled() bool { return ev.n != nil && ev.n.cancelledGen == ev.gen }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	pq      eventHeap
-	procs   []*Proc
-	rng     *rand.Rand
-	stopped bool
-	limit   Time // 0 means no limit
-	tracer  func(t Time, format string, args ...any)
-	running bool
+	now      Time
+	seq      uint64
+	pq       []*eventNode
+	freeList *eventNode
+	procs    []*Proc
+	rng      *rand.Rand
+	fired    uint64
+	stopped  bool
+	limit    Time // 0 means no limit
+	tracer   func(t Time, format string, args ...any)
+	running  bool
 }
 
 // NewEngine returns an engine with its virtual clock at zero and its
@@ -121,39 +126,164 @@ func (e *Engine) Tracef(format string, args ...any) {
 	}
 }
 
-// At schedules fn to run at instant t, which must not be in the virtual
-// past. It returns the event so the caller may cancel it.
-func (e *Engine) At(t Time, fn func()) *Event {
+// less orders the heap by (at, seq): time first, insertion order among
+// equal times.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.pq[i], e.pq[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.pq[i], e.pq[j] = e.pq[j], e.pq[i]
+	e.pq[i].index = i
+	e.pq[j].index = j
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(e.pq) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(e.pq) && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			return
+		}
+		e.swap(i, m)
+		i = m
+	}
+}
+
+func (e *Engine) heapPush(n *eventNode) {
+	n.index = len(e.pq)
+	e.pq = append(e.pq, n)
+	e.siftUp(n.index)
+}
+
+// heapRemove detaches the node at heap index i, restoring heap order.
+func (e *Engine) heapRemove(i int) *eventNode {
+	n := e.pq[i]
+	last := len(e.pq) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.pq[last] = nil
+	e.pq = e.pq[:last]
+	if i != last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	n.index = -1
+	return n
+}
+
+// recycle retires a node (fired or cancelled) to the free list. The
+// generation bump invalidates every outstanding handle to it.
+func (e *Engine) recycle(n *eventNode) {
+	n.gen++
+	n.cb = nil
+	n.arg = nil
+	n.free = e.freeList
+	e.freeList = n
+}
+
+// schedule is the common path behind At/After/AtCall/AfterCall.
+func (e *Engine) schedule(t Time, cb func(any), arg any) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
 	}
+	n := e.freeList
+	if n != nil {
+		e.freeList = n.free
+		n.free = nil
+	} else {
+		n = &eventNode{gen: 1}
+	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.pq, ev)
-	return ev
+	n.at = t
+	n.seq = e.seq
+	n.cb = cb
+	n.arg = arg
+	e.heapPush(n)
+	return Event{n: n, gen: n.gen}
 }
 
+// callFunc adapts the closure scheduling forms to the callback+argument
+// representation. Boxing a func value into any stores a pointer, so the
+// adapter itself never allocates.
+func callFunc(a any) { a.(func())() }
+
+// At schedules fn to run at instant t, which must not be in the virtual
+// past. It returns the event so the caller may cancel it.
+func (e *Engine) At(t Time, fn func()) Event { return e.schedule(t, callFunc, fn) }
+
+// AtCall schedules cb(arg) to run at instant t. It is the closure-free
+// form of At for hot paths: with a pointer-shaped arg (or one already on
+// the heap) the call allocates nothing, where At would force each call
+// site to materialize a capturing closure per event.
+func (e *Engine) AtCall(t Time, cb func(any), arg any) Event { return e.schedule(t, cb, arg) }
+
 // After schedules fn to run d after the current virtual time.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.schedule(e.now.Add(d), callFunc, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// AfterCall schedules cb(arg) to run d after the current virtual time —
+// the closure-free form of After.
+func (e *Engine) AfterCall(d time.Duration, cb func(any), arg any) Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.schedule(e.now.Add(d), cb, arg)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event
+// that already fired or was already cancelled — or the zero Event — is
+// a no-op, even if the event's storage has since been reused.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.index < 0 {
 		return
 	}
-	ev.cancel = true
-	heap.Remove(&e.pq, ev.index)
-	ev.index = -1
+	e.heapRemove(n.index)
+	n.cancelledGen = n.gen
+	e.recycle(n)
 }
 
 // Stop makes Run return after the currently executing event completes.
+// Calling Stop while the engine is not running is honored by the next
+// Run, which consumes the stop and returns before executing any event;
+// events stay queued for the Run after that.
 func (e *Engine) Stop() { e.stopped = true }
+
+// quietNow reports that no queued event can run at the current instant
+// and no stop is pending. A zero-length scheduling point may then
+// return without going through the queue: the wakeup it would schedule
+// is guaranteed to be the very next event executed, so skipping the
+// round-trip is unobservable in simulated behaviour.
+func (e *Engine) quietNow() bool {
+	return !e.stopped && (len(e.pq) == 0 || e.pq[0].at > e.now)
+}
 
 // Run executes events in order until the queue is empty, Stop is called,
 // or the time limit set by RunUntil-style callers is reached. It returns
@@ -169,17 +299,23 @@ func (e *Engine) Run() Time {
 	e.running = true
 	defer func() { e.running = false }()
 	for !e.stopped && len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if e.limit != 0 && ev.at > e.limit {
-			// Past the horizon: put it back and stop.
-			heap.Push(&e.pq, ev)
+		n := e.pq[0]
+		if e.limit != 0 && n.at > e.limit {
+			// Past the horizon: leave it queued and stop.
 			break
 		}
-		if ev.at < e.now {
+		if n.at < e.now {
 			panic("sim: event queue went backwards")
 		}
-		e.now = ev.at
-		ev.fn()
+		e.heapRemove(0)
+		e.now = n.at
+		e.fired++
+		cb, arg := n.cb, n.arg
+		// Recycle before the callback so it can reuse the node for
+		// whatever it schedules; the generation bump makes a self-Cancel
+		// from inside the callback a no-op.
+		e.recycle(n)
+		cb(arg)
 	}
 	e.stopped = false
 	return e.now
@@ -206,6 +342,11 @@ func (e *Engine) RunUntil(t Time) Time {
 
 // Pending reports the number of events in the queue.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// Events returns the cumulative number of events the engine has
+// executed across all Run calls — the denominator for wall-clock
+// events/sec measurements.
+func (e *Engine) Events() uint64 { return e.fired }
 
 // Shutdown terminates all live Procs so their goroutines exit. The engine
 // must not be running. After Shutdown the engine can still schedule plain

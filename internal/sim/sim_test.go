@@ -226,7 +226,7 @@ func TestCancelInsideCallback(t *testing.T) {
 	// An event callback cancelling another pending event (the RDP timer
 	// pattern) must be safe even when both fire at the same instant.
 	e := NewEngine(1)
-	var b *Event
+	var b Event
 	bFired := false
 	e.At(100, func() { e.Cancel(b) })
 	b = e.At(100, func() { bFired = true })
@@ -238,11 +238,11 @@ func TestCancelInsideCallback(t *testing.T) {
 
 func TestCancelSelfIsNoop(t *testing.T) {
 	e := NewEngine(1)
-	var self *Event
+	var self Event
 	ran := false
 	self = e.At(10, func() {
 		ran = true
-		e.Cancel(self) // already firing: index is -1, must be a no-op
+		e.Cancel(self) // already firing: the handle is stale, must be a no-op
 	})
 	e.Run()
 	if !ran {
