@@ -32,7 +32,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench) {
+	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults) {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -2,8 +2,10 @@ package atm
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -68,6 +70,15 @@ type LinkConfig struct {
 	// (drawn per cell from the engine's seeded source). The paper's
 	// premise: "the underlying network is not reliable" (§2.3).
 	LossRate float64
+	// Fault composes the full fault plane — burst loss, corruption,
+	// duplication, bounded reordering, down windows — on this link. The
+	// injector draws from a stream derived from (seed, FaultSite, link
+	// index), never from the engine's main RNG, so enabling it leaves
+	// the LossRate/skew draw order untouched.
+	Fault *fault.Config
+	// FaultSite names the injection site (the link index is appended);
+	// distinct links sharing a config must get distinct sites.
+	FaultSite string
 }
 
 // deterministic reports whether the configuration draws no randomness
@@ -76,7 +87,7 @@ type LinkConfig struct {
 // qualify; a custom SkewModel conservatively falls back to the paced
 // per-cell event machine.
 func (cfg LinkConfig) deterministic() bool {
-	if cfg.LossRate > 0 {
+	if cfg.LossRate > 0 || cfg.Fault != nil {
 		return false
 	}
 	switch cfg.Skew.(type) {
@@ -86,11 +97,14 @@ func (cfg LinkConfig) deterministic() bool {
 	return false
 }
 
-// LinkStats counts link activity.
+// LinkStats counts link activity. Sent + Duplicated = Delivered + Lost
+// once the link drains (every accepted or injector-cloned cell is
+// eventually delivered or lost).
 type LinkStats struct {
-	Sent      int64
-	Delivered int64
-	Lost      int64
+	Sent       int64
+	Delivered  int64
+	Lost       int64
+	Duplicated int64 // injector-cloned cells added to the stream
 }
 
 // linkCell is one in-flight cell of a deterministic link's train:
@@ -122,6 +136,7 @@ type Link struct {
 	lastDeliver sim.Time
 	deliver     func(c Cell, link int)
 	stats       LinkStats
+	inj         *fault.Injector // nil unless cfg.Fault injects something
 
 	// Paced (fallback) mode.
 	queue *sim.Chan[Cell]
@@ -153,6 +168,13 @@ func NewLink(e *sim.Engine, cfg LinkConfig) *Link {
 	}
 	l := &Link{eng: e, cfg: cfg}
 	l.cellTime = time.Duration(int64(CellSize*8) * int64(time.Second) / cfg.RateBps)
+	if cfg.Fault != nil {
+		site := cfg.FaultSite
+		if site == "" {
+			site = "link"
+		}
+		l.inj = fault.New(e, site+"/l"+strconv.Itoa(cfg.Index), cfg.Fault)
+	}
 	if cfg.deterministic() {
 		l.det = true
 		l.train = make([]linkCell, cfg.FIFODepth+4)
@@ -312,9 +334,16 @@ func (l *Link) pop() linkCell {
 // Delivered or Lost. After Shutdown the counters are final and stable.
 func (l *Link) Stats() LinkStats { return l.stats }
 
-// pace is the fallback per-cell machine for lossy or randomly skewed
-// links: it consumes the engine RNG one cell at a time, in serialization
-// order, which the arithmetic train cannot reproduce.
+// Injector exposes the link's fault injector (nil when fault injection
+// is off); its Stats follow the Link.Stats snapshot discipline.
+func (l *Link) Injector() *fault.Injector { return l.inj }
+
+// pace is the fallback per-cell machine for lossy, randomly skewed, or
+// fault-injected links: it consumes the engine RNG one cell at a time,
+// in serialization order, which the arithmetic train cannot reproduce.
+// The legacy LossRate coin is drawn from the engine RNG exactly where
+// it always was; the injector draws only from its own derived stream,
+// so enabling it never shifts existing seeded runs.
 func (l *Link) pace(p *sim.Proc) {
 	for {
 		c := l.queue.Recv(p)
@@ -323,18 +352,40 @@ func (l *Link) pace(p *sim.Proc) {
 			l.stats.Lost++
 			continue
 		}
+		act := l.inj.Apply(p.Now())
+		if act.Drop {
+			l.stats.Lost++
+			continue
+		}
+		if act.CorruptBit >= 0 && c.Len > 0 {
+			bit := act.CorruptBit % (8 * c.Len)
+			c.Payload[bit/8] ^= 1 << (bit % 8)
+		}
 		at := p.Now().Add(l.cfg.PropDelay + l.cfg.Skew.Delay(l.cfg.Index, l.eng.Rand()))
 		if at <= l.lastDeliver {
 			at = l.lastDeliver + 1 // preserve per-link FIFO order
 		}
 		l.lastDeliver = at
+		// Reordering delay lands after the FIFO commitment and does not
+		// advance lastDeliver: later cells keep their earlier slots and
+		// overtake the delayed one, bounded by the injector's ReorderMax.
+		deliverAt := at.Add(act.Delay)
 		cell := c
-		l.eng.At(at, func() {
+		l.eng.At(deliverAt, func() {
 			l.stats.Delivered++
 			if l.deliver != nil {
 				l.deliver(cell, l.cfg.Index)
 			}
 		})
+		if act.Duplicate {
+			l.stats.Duplicated++
+			l.eng.At(deliverAt+1, func() {
+				l.stats.Delivered++
+				if l.deliver != nil {
+					l.deliver(cell, l.cfg.Index)
+				}
+			})
+		}
 	}
 }
 
@@ -383,6 +434,17 @@ func (g *StripeGroup) Stats() LinkStats {
 		s.Sent += ls.Sent
 		s.Delivered += ls.Delivered
 		s.Lost += ls.Lost
+		s.Duplicated += ls.Duplicated
+	}
+	return s
+}
+
+// FaultStats sums the per-link injector counters (zero when fault
+// injection is off). The Link.Stats snapshot discipline applies.
+func (g *StripeGroup) FaultStats() fault.Stats {
+	var s fault.Stats
+	for _, l := range g.links {
+		s.Add(l.inj.Stats())
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package atm
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,11 @@ type SwitchConfig struct {
 	// DefaultSwitchQueueCells). Cells routed to a full queue are
 	// dropped and counted in the port's Dropped statistic.
 	QueueCells int
+	// Fault injects faults at every output port's queue entry (one
+	// injector per port, each with its own derived RNG stream) —
+	// modelling a flaky fabric element rather than a flaky link. The
+	// per-lane link fault plane is configured on Link.Fault instead.
+	Fault *fault.Config
 }
 
 func (c SwitchConfig) withDefaults() SwitchConfig {
@@ -44,6 +50,7 @@ type SwitchPortStats struct {
 	NoRoute   int64 // input cells discarded for lack of a VCI route
 	Forwarded int64 // cells transmitted on this port's egress lanes
 	Dropped   int64 // cells dropped on egress-queue overflow
+	HighWater int64 // maximum egress-queue occupancy observed (cells)
 }
 
 // laneCell is a queued cell tagged with its stripe lane.
@@ -61,6 +68,7 @@ type SwitchPort struct {
 	out   *StripeGroup
 	queue *sim.Chan[laneCell]
 	stats SwitchPortStats
+	inj   *fault.Injector // output-side injector (nil when off)
 }
 
 // Index returns the port number.
@@ -80,6 +88,10 @@ func (pt *SwitchPort) Egress() *StripeGroup { return pt.out }
 // being executed by another proc.
 func (pt *SwitchPort) Stats() SwitchPortStats { return pt.stats }
 
+// Injector exposes the port's output-side fault injector (nil when
+// fault injection is off).
+func (pt *SwitchPort) Injector() *fault.Injector { return pt.inj }
+
 // QueueLen reports the cells currently waiting in the output queue.
 func (pt *SwitchPort) QueueLen() int { return pt.queue.Len() }
 
@@ -96,12 +108,14 @@ func (pt *SwitchPort) drain(p *sim.Proc) {
 	}
 }
 
-// SwitchStats aggregates counters across all ports.
+// SwitchStats aggregates counters across all ports. HighWater is the
+// maximum across ports, the rest are sums.
 type SwitchStats struct {
 	In        int64
 	NoRoute   int64
 	Forwarded int64
 	Dropped   int64
+	HighWater int64
 }
 
 // Switch is an N-port VCI-routed cell switch: the fabric that joins a
@@ -131,11 +145,21 @@ func NewSwitch(e *sim.Engine, nports int, cfg SwitchConfig) *Switch {
 	cfg = cfg.withDefaults()
 	sw := &Switch{eng: e, cfg: cfg, routes: make(map[VCI]int)}
 	for i := 0; i < nports; i++ {
+		inCfg, outCfg := cfg.Link, cfg.Link
+		if site := cfg.Link.FaultSite; site == "" {
+			// Give every lane of every port its own injection stream.
+			inCfg.FaultSite = fmt.Sprintf("sw/in%d", i)
+			outCfg.FaultSite = fmt.Sprintf("sw/out%d", i)
+		} else {
+			inCfg.FaultSite = fmt.Sprintf("%s/in%d", site, i)
+			outCfg.FaultSite = fmt.Sprintf("%s/out%d", site, i)
+		}
 		pt := &SwitchPort{
 			index: i,
-			in:    NewStripeGroup(e, cfg.Width, cfg.Link),
-			out:   NewStripeGroup(e, cfg.Width, cfg.Link),
+			in:    NewStripeGroup(e, cfg.Width, inCfg),
+			out:   NewStripeGroup(e, cfg.Width, outCfg),
 			queue: sim.NewChan[laneCell](e, cfg.QueueCells),
+			inj:   fault.New(e, fmt.Sprintf("sw/port%d", i), cfg.Fault),
 		}
 		in := i
 		pt.in.SetReceiver(func(c Cell, lane int) { sw.forward(in, c, lane) })
@@ -197,12 +221,53 @@ func (sw *Switch) forward(inPort int, c Cell, lane int) {
 		return
 	}
 	op := sw.ports[out]
-	if !op.queue.TrySend(laneCell{c: c, lane: lane}) {
+	act := op.inj.Apply(sw.eng.Now())
+	if act.Drop {
+		return // counted by the injector
+	}
+	if act.CorruptBit >= 0 && c.Len > 0 {
+		bit := act.CorruptBit % (8 * c.Len)
+		c.Payload[bit/8] ^= 1 << (bit % 8)
+	}
+	lc := laneCell{c: c, lane: lane}
+	if act.Delay > 0 {
+		// Bounded reordering: the delayed cell re-enters the queue later,
+		// letting cells behind it overtake.
+		sw.eng.AfterCall(act.Delay, delayedEnqueueCB, &delayedCell{sw: sw, op: op, lc: lc})
+	} else {
+		sw.enqueue(op, lc)
+	}
+	if act.Duplicate {
+		sw.enqueue(op, lc)
+	}
+}
+
+// enqueue enters one cell into an output port's bounded queue (event
+// context, TrySend discipline), maintaining the drop and occupancy
+// high-water counters.
+func (sw *Switch) enqueue(op *SwitchPort, lc laneCell) {
+	if !op.queue.TrySend(lc) {
 		op.stats.Dropped++
 		if sw.eng.Tracing() {
-			sw.eng.Tracef("drop: switch port %d queue overflow vci=%d", out, c.VCI)
+			sw.eng.Tracef("drop: switch port %d queue overflow vci=%d", op.index, lc.c.VCI)
 		}
+		return
 	}
+	if n := int64(op.queue.Len()); n > op.stats.HighWater {
+		op.stats.HighWater = n
+	}
+}
+
+// delayedCell carries a reorder-delayed cell to its deferred enqueue.
+type delayedCell struct {
+	sw *Switch
+	op *SwitchPort
+	lc laneCell
+}
+
+func delayedEnqueueCB(a any) {
+	d := a.(*delayedCell)
+	d.sw.enqueue(d.op, d.lc)
 }
 
 // Stats sums the per-port counters. The same snapshot discipline as
@@ -214,6 +279,19 @@ func (sw *Switch) Stats() SwitchStats {
 		s.NoRoute += pt.stats.NoRoute
 		s.Forwarded += pt.stats.Forwarded
 		s.Dropped += pt.stats.Dropped
+		if pt.stats.HighWater > s.HighWater {
+			s.HighWater = pt.stats.HighWater
+		}
+	}
+	return s
+}
+
+// FaultStats sums the per-port injector counters (zero when fault
+// injection is off).
+func (sw *Switch) FaultStats() fault.Stats {
+	var s fault.Stats
+	for _, pt := range sw.ports {
+		s.Add(pt.inj.Stats())
 	}
 	return s
 }

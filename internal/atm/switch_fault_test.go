@@ -1,0 +1,102 @@
+package atm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func TestSwitchPortStatsDropsAndHighWater(t *testing.T) {
+	// Two senders fan into one egress port with a tiny queue: overflow
+	// must show up in Dropped and the occupancy peak in HighWater. The
+	// snapshot is read between engine steps (the Link.Stats discipline),
+	// which the -race runs of this package verify is safe.
+	e := sim.NewEngine(1)
+	defer e.Shutdown()
+	sw := NewSwitch(e, 3, SwitchConfig{QueueCells: 8})
+	if err := sw.Route(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Route(11, 2); err != nil {
+		t.Fatal(err)
+	}
+	var got []rxRecord
+	collect(sw.Port(2), &got)
+	const perSender = 100
+	for s := 0; s < 2; s++ {
+		vci := VCI(10 + s)
+		in := sw.Port(s).Ingress()
+		e.Go("tx", func(p *sim.Proc) {
+			for i := 0; i < perSender; i++ {
+				in.Send(p, Cell{VCI: vci, Seq: uint32(i), Len: CellPayload})
+			}
+		})
+	}
+	// Slice the run and read snapshots between steps: counters must be
+	// coherent and monotonic at every quiescent point.
+	var prev SwitchPortStats
+	for i := 0; i < 40; i++ {
+		e.RunUntil(e.Now().Add(50 * time.Microsecond))
+		st := sw.Port(2).Stats()
+		if st.Dropped < prev.Dropped || st.Forwarded < prev.Forwarded || st.HighWater < prev.HighWater {
+			t.Fatalf("counters went backwards: %+v after %+v", st, prev)
+		}
+		prev = st
+	}
+	e.Run()
+	st := sw.Port(2).Stats()
+	if st.Dropped == 0 {
+		t.Errorf("fan-in overload produced no drops: %+v", st)
+	}
+	if st.HighWater == 0 || st.HighWater > 8 {
+		t.Errorf("HighWater = %d, want in (0, 8]", st.HighWater)
+	}
+	agg := sw.Stats()
+	if agg.HighWater != st.HighWater {
+		t.Errorf("aggregate HighWater %d != port HighWater %d", agg.HighWater, st.HighWater)
+	}
+	if in0 := sw.Port(0).Stats(); in0.In != perSender {
+		t.Errorf("port 0 In = %d, want %d", in0.In, perSender)
+	}
+	if int64(len(got))+st.Dropped != 2*perSender {
+		t.Errorf("delivered %d + dropped %d != sent %d", len(got), st.Dropped, 2*perSender)
+	}
+}
+
+func TestSwitchFaultInjectionAtOutputPort(t *testing.T) {
+	e := sim.NewEngine(5)
+	defer e.Shutdown()
+	sw := NewSwitch(e, 2, SwitchConfig{Fault: &fault.Config{Loss: fault.Bernoulli{P: 0.2}}})
+	if err := sw.Route(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	var got []rxRecord
+	collect(sw.Port(1), &got)
+	const cells = 400
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < cells; i++ {
+			sw.Port(0).Ingress().Send(p, Cell{VCI: 9, Seq: uint32(i), Len: CellPayload})
+		}
+	})
+	e.Run()
+	fs := sw.Port(1).Injector().Stats()
+	if fs.Cells != cells || fs.Dropped == 0 {
+		t.Fatalf("injector stats %+v, want %d cells with drops", fs, cells)
+	}
+	if int64(len(got)) != cells-fs.Dropped {
+		t.Errorf("delivered %d, want %d - %d", len(got), cells, fs.Dropped)
+	}
+	if agg := sw.FaultStats(); agg != fs {
+		t.Errorf("aggregate fault stats %+v != port stats %+v", agg, fs)
+	}
+	// Per-lane order must survive injected loss.
+	perLane := map[int]uint32{}
+	for _, r := range got {
+		if last, ok := perLane[r.lane]; ok && r.c.Seq <= last {
+			t.Fatalf("lane %d order violated", r.lane)
+		}
+		perLane[r.lane] = r.c.Seq
+	}
+}

@@ -17,10 +17,12 @@ package board
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/atm"
 	"repro/internal/dpm"
+	"repro/internal/fault"
 	"repro/internal/hostsim"
 	"repro/internal/mem"
 	"repro/internal/queue"
@@ -157,6 +159,33 @@ type Config struct {
 
 	// StripeWidth is the number of physical links (default 4).
 	StripeWidth int
+
+	// ReasmTimeout bounds how long a partial reassembly may sit without
+	// receiving a cell before the receive processor aborts it and
+	// reclaims its buffers — the graceful-degradation path for a lost
+	// EOM/Last cell, which would otherwise strand rxBuf and descriptor
+	// state forever. Zero disables the sweep (the seed behaviour). The
+	// timeout must be much larger than per-cell processing time;
+	// millisecond scale is typical.
+	ReasmTimeout time.Duration
+	// CheckCRC verifies the AAL5 trailer CRC over each reassembled PDU
+	// (against a firmware shadow copy of the payload) and drops
+	// corrupted PDUs, counted in PDUsCRCDropped. Opt-in: the calibrated
+	// experiments model the §2.3 premise that error detection lives in
+	// the transport, and one ablation deliberately delivers corrupt
+	// PDUs to show why skew handling matters.
+	CheckCRC bool
+	// RejectDuplicates drops duplicate cells where they are
+	// recognizable: exactly (by sequence number) under the SeqNum
+	// strategy, and duplicated Last cells under every strategy.
+	// Interior duplicates under the placement strategies shift the
+	// placement arithmetic and surface through the AAL5 error check
+	// instead. Counted in CellsDuplicate.
+	RejectDuplicates bool
+	// RxFault injects faults (drop/corrupt/duplicate/delay) at the
+	// receive FIFO entry — modelling a marginal board front end, as
+	// opposed to a faulty link or switch.
+	RxFault *fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +236,10 @@ type Stats struct {
 	TxIRQs           int64
 	Violations       int64
 	ScratchRecycled  int64
+	PDUsTimedOut     int64 // reassemblies aborted by the ReasmTimeout sweep
+	PDUsCRCDropped   int64 // completed PDUs rejected by the AAL5 CRC check
+	CellsDuplicate   int64 // duplicate cells rejected (RejectDuplicates)
+	RxAbortMarkers   int64 // abort markers sent to the driver for partial PDUs
 }
 
 // Channel is one transmit page plus one free/receive page pair — the
@@ -270,6 +303,12 @@ type Board struct {
 	segPool  [][]mem.PhysBuffer
 	dataPool [][]byte
 
+	// shadowPool recycles the CheckCRC shadow buffers across PDUs.
+	shadowPool [][]byte
+
+	rxInj      *fault.Injector // receive-path injector (nil when off)
+	reasmTimer sim.Event       // pending ReasmTimeout sweep, if any
+
 	stats Stats
 }
 
@@ -327,6 +366,7 @@ func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
 		rxFIFO: sim.NewChan[rxCell](e, cfg.RxFIFOCells),
 		irq:    h.Int.Assert,
 	}
+	b.rxInj = fault.New(e, cfg.Name+"/rx", cfg.RxFault)
 	for i := 0; i < NumChannels; i++ {
 		ch := &Channel{
 			board: b,
@@ -413,15 +453,57 @@ func (b *Board) InjectCell(c atm.Cell, link int) bool {
 // deliveries. Cells arriving while the on-board FIFO is full are
 // dropped (§2.5.1's "inadequate reassembly space" concern).
 func (b *Board) AttachRxLinks(g *atm.StripeGroup) {
-	g.SetReceiver(func(c atm.Cell, link int) {
-		if !b.rxFIFO.TrySend(rxCell{c: c, link: link}) {
-			b.stats.CellsDroppedFIFO++
-			if b.eng.Tracing() {
-				b.eng.Tracef("drop: %s rx FIFO overflow vci=%d", b.cfg.Name, c.VCI)
-			}
-		}
-	})
+	g.SetReceiver(b.receiveCell)
 }
+
+// receiveCell runs in link-delivery (event) context: it applies the
+// board's receive-path fault injector, then enters the cell FIFO.
+func (b *Board) receiveCell(c atm.Cell, link int) {
+	act := b.rxInj.Apply(b.eng.Now())
+	if act.Drop {
+		return // counted by the injector
+	}
+	if act.CorruptBit >= 0 && c.Len > 0 {
+		bit := act.CorruptBit % (8 * c.Len)
+		c.Payload[bit/8] ^= 1 << (bit % 8)
+	}
+	rc := rxCell{c: c, link: link}
+	if act.Delay > 0 {
+		b.eng.AfterCall(act.Delay, rxDelayedCB, &delayedRxCell{b: b, rc: rc})
+	} else {
+		b.enterRxFIFO(rc)
+	}
+	if act.Duplicate {
+		b.enterRxFIFO(rc)
+	}
+}
+
+// delayedRxCell carries a reorder-delayed cell to its deferred FIFO
+// entry.
+type delayedRxCell struct {
+	b  *Board
+	rc rxCell
+}
+
+func rxDelayedCB(a any) {
+	d := a.(*delayedRxCell)
+	d.b.enterRxFIFO(d.rc)
+}
+
+// enterRxFIFO enters one cell into the receive FIFO (event context),
+// dropping on overflow.
+func (b *Board) enterRxFIFO(rc rxCell) {
+	if !b.rxFIFO.TrySend(rc) {
+		b.stats.CellsDroppedFIFO++
+		if b.eng.Tracing() {
+			b.eng.Tracef("drop: %s rx FIFO overflow vci=%d", b.cfg.Name, rc.c.VCI)
+		}
+	}
+}
+
+// RxInjector exposes the board's receive-path fault injector (nil when
+// off).
+func (b *Board) RxInjector() *fault.Injector { return b.rxInj }
 
 // OpenChannel marks channel i usable, sets its priority, and restricts
 // the physical frames its descriptors may reference (nil = unrestricted,
@@ -494,6 +576,137 @@ func (b *Board) violation(ch *Channel) {
 		b.eng.Tracef("drop: %s authorization violation ch%d", b.cfg.Name, ch.Index)
 	}
 	b.irq(VioIRQBase + ch.Index)
+}
+
+// noteReasmActivity refreshes a reassembly's idle clock and keeps the
+// timeout sweep armed. The timer is armed only while reassemblies can
+// be open and is not re-armed once everything drains — a perpetually
+// pending event would keep Engine.Run from ever quiescing.
+func (b *Board) noteReasmActivity(rs *reasmState) {
+	rs.lastArrival = b.eng.Now()
+	if b.cfg.ReasmTimeout > 0 && !b.reasmTimer.Pending() {
+		b.reasmTimer = b.eng.AfterCall(b.cfg.ReasmTimeout, reasmSweepCB, b)
+	}
+}
+
+// reasmSweepRetry is how soon the sweep retries a timed-out reassembly
+// whose abort marker could not be queued (rx DMA command queue full).
+const reasmSweepRetry = 10 * time.Microsecond
+
+// reasmSweepCB runs in event context: it aborts every reassembly whose
+// idle time reached ReasmTimeout, reclaiming its buffers, then re-arms
+// for the earliest remaining deadline. Channels are visited in index
+// order and VCIs in sorted order, so the stash contents and statistics
+// are deterministic despite the map storage.
+func reasmSweepCB(a any) {
+	b := a.(*Board)
+	b.reasmTimer = sim.Event{}
+	if b.cfg.ReasmTimeout <= 0 {
+		return
+	}
+	now := b.eng.Now()
+	var next sim.Time = -1
+	sooner := func(t sim.Time) {
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	for _, ch := range b.chans {
+		if len(ch.reasm) == 0 {
+			continue
+		}
+		vcis := make([]int, 0, len(ch.reasm))
+		for v := range ch.reasm {
+			vcis = append(vcis, int(v))
+		}
+		sort.Ints(vcis)
+		for _, vi := range vcis {
+			rs := ch.reasm[atm.VCI(vi)]
+			deadline := rs.lastArrival.Add(b.cfg.ReasmTimeout)
+			if deadline > now {
+				sooner(deadline)
+			} else if !b.timeoutReasm(ch, rs) {
+				sooner(now.Add(reasmSweepRetry))
+			}
+		}
+	}
+	if next >= 0 {
+		b.reasmTimer = b.eng.AtCall(next, reasmSweepCB, b)
+	}
+}
+
+// timeoutReasm aborts one stranded reassembly: unpushed buffers return
+// to the channel's scratch stash, and if part of the PDU already
+// streamed to the host, an abort-marker descriptor (FlagErr) follows
+// the in-flight DMA so the driver discards the partial delivery and
+// recycles its buffers. Returns false when the marker could not be
+// queued (the caller retries shortly).
+func (b *Board) timeoutReasm(ch *Channel, rs *reasmState) bool {
+	if rs.anyPushed() {
+		marker := rxCmd{ch: ch, pushes: []queue.Desc{{VCI: rs.vci, Flags: queue.FlagErr}}}
+		if !b.rxCmds.TrySend(marker) {
+			return false
+		}
+		b.stats.RxAbortMarkers++
+	}
+	scratch := rs.abort()
+	ch.stash = append(ch.stash, scratch...)
+	b.stats.ScratchRecycled += int64(len(scratch))
+	b.stats.PDUsTimedOut++
+	if b.eng.Tracing() {
+		b.eng.Tracef("drop: %s reassembly timeout vci=%d received=%d", b.cfg.Name, rs.vci, rs.received)
+	}
+	delete(ch.reasm, rs.vci)
+	b.releaseShadow(rs)
+	return true
+}
+
+// getShadow takes a recycled CRC shadow buffer (may return nil; the
+// shadow grows on demand).
+func (b *Board) getShadow() []byte {
+	if n := len(b.shadowPool); n > 0 {
+		s := b.shadowPool[n-1]
+		b.shadowPool = b.shadowPool[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// releaseShadow returns a reassembly's shadow buffer to the pool.
+func (b *Board) releaseShadow(rs *reasmState) {
+	if rs.shadow != nil {
+		b.shadowPool = append(b.shadowPool, rs.shadow)
+		rs.shadow = nil
+	}
+}
+
+// OpenReassemblies counts the partial PDUs currently held across all
+// channels — the quantity the ReasmTimeout sweep exists to drive back
+// to zero. Snapshot discipline: read between engine steps.
+func (b *Board) OpenReassemblies() int {
+	n := 0
+	for _, ch := range b.chans {
+		n += len(ch.reasm)
+	}
+	return n
+}
+
+// HeldReasmBufs counts receive buffers held by open reassemblies that
+// have not yet been pushed to the host. Together with OpenReassemblies
+// this is the leak check for graceful degradation: after a faulted run
+// drains, both must be zero.
+func (b *Board) HeldReasmBufs() int {
+	n := 0
+	for _, ch := range b.chans {
+		for _, rs := range ch.reasm {
+			for i := range rs.bufs {
+				if !rs.bufs[i].pushed {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // pushRecvDesc queues a filled-buffer descriptor on a channel's receive

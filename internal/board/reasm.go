@@ -4,6 +4,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/mem"
 	"repro/internal/queue"
+	"repro/internal/sim"
 )
 
 // rxBuf is one host receive buffer being filled during reassembly.
@@ -34,6 +35,11 @@ type reasmState struct {
 	dropping   bool
 	lastSeen   bool
 	maxWritten int // highest stream offset any cell has reached
+
+	lastArrival sim.Time // last cell arrival; drives Config.ReasmTimeout
+	crcWant     uint32   // AAL5 trailer CRC, valid once lastSeen
+	shadow      []byte   // firmware copy of PDU bytes (Config.CheckCRC)
+	seenSeq     []uint64 // SeqNum duplicate bitmap (Config.RejectDuplicates)
 }
 
 func newReasmState(ch *Channel, vci atm.VCI, width int) *reasmState {
@@ -74,11 +80,19 @@ func (rs *reasmState) wouldPlaceAt(strategy ReassemblyStrategy, rc rxCell, width
 // to host memory (pad and trailer bytes beyond the PDU length are
 // suppressed once the length is known).
 func (rs *reasmState) ingest(strategy ReassemblyStrategy, rc rxCell, width int) (off, dataLen int, complete, ok bool) {
+	// Firmware sanity check on the cell header: a negative or oversized
+	// payload length can't have come off a real link, and a Last cell
+	// must at least hold the trailer ParseTrailer is about to read.
+	if rc.c.Len < 0 || rc.c.Len > atm.CellPayload || (rc.c.Last && rc.c.Len < atm.TrailerSize) {
+		return 0, 0, false, false
+	}
 	off, ok = rs.wouldPlaceAt(strategy, rc, width)
 	if !ok {
 		return 0, 0, false, false
 	}
 	switch strategy {
+	case SeqNum:
+		rs.markSeq(rc.c.Seq)
 	case FourAAL5:
 		rs.linkCount[rc.link]++
 	case ArrivalOrder:
@@ -100,6 +114,7 @@ func (rs *reasmState) ingest(strategy ReassemblyStrategy, rc rxCell, width int) 
 		// bytes simply are not written to host memory).
 		tr := atm.ParseTrailer(rc.c.Payload[:rc.c.Len])
 		rs.pduLen = int(tr.Length)
+		rs.crcWant = tr.CRC
 		switch strategy {
 		case SeqNum:
 			rs.total = int(rc.c.Seq) + 1
@@ -295,6 +310,79 @@ func (rs *reasmState) finalPushes() (pushes []queue.Desc, scratch []queue.Desc) 
 		pushes = append(pushes, d)
 	}
 	return pushes, scratch
+}
+
+// maxTrackedSeq bounds the SeqNum duplicate bitmap: sequence numbers at
+// or beyond it are not tracked (a 2^32 Seq would otherwise let a single
+// malformed cell allocate a 512 MB bitmap). 2^16 cells covers a 2.8 MB
+// PDU — far past any MTU this board carries.
+const maxTrackedSeq = 1 << 16
+
+// duplicate reports whether rc replays a cell this reassembly already
+// ingested. Exact detection is only possible under SeqNum (each cell
+// names its slot); every strategy can at least recognize a second Last
+// cell. FourAAL5's per-link counters cannot distinguish a duplicate
+// from a merged successor PDU — that case is left to errorDetected.
+func (rs *reasmState) duplicate(strategy ReassemblyStrategy, rc rxCell) bool {
+	if rc.c.Last && rs.lastSeen {
+		return true
+	}
+	return strategy == SeqNum && rs.seqSeen(rc.c.Seq)
+}
+
+func (rs *reasmState) seqSeen(seq uint32) bool {
+	if seq >= maxTrackedSeq {
+		return false
+	}
+	w, bit := int(seq/64), seq%64
+	return w < len(rs.seenSeq) && rs.seenSeq[w]&(1<<bit) != 0
+}
+
+func (rs *reasmState) markSeq(seq uint32) {
+	if seq >= maxTrackedSeq {
+		return
+	}
+	w, bit := int(seq/64), seq%64
+	for w >= len(rs.seenSeq) {
+		rs.seenSeq = append(rs.seenSeq, 0)
+	}
+	rs.seenSeq[w] |= 1 << bit
+}
+
+// record mirrors a cell's accepted payload bytes into the firmware
+// shadow copy that crcOK verifies (Config.CheckCRC only). It receives
+// exactly the clamped byte range the DMA writes, so the shadow matches
+// host memory byte for byte.
+func (rs *reasmState) record(off int, data []byte) {
+	if need := off + len(data); need > len(rs.shadow) {
+		if need > cap(rs.shadow) {
+			grown := make([]byte, need)
+			copy(grown, rs.shadow)
+			rs.shadow = grown
+		} else {
+			rs.shadow = rs.shadow[:need]
+		}
+	}
+	copy(rs.shadow[off:], data)
+}
+
+// crcOK recomputes the AAL5 CRC over the shadow copy and compares it
+// with the trailer's value. Only meaningful once the PDU is complete.
+func (rs *reasmState) crcOK() bool {
+	return rs.pduLen >= 0 && len(rs.shadow) >= rs.pduLen &&
+		atm.Checksum(rs.shadow[:rs.pduLen]) == rs.crcWant
+}
+
+// anyPushed reports whether any of the reassembly's buffers already
+// streamed to the host — if so, abandoning it must send an abort marker
+// after them.
+func (rs *reasmState) anyPushed() bool {
+	for i := range rs.bufs {
+		if rs.bufs[i].pushed {
+			return true
+		}
+	}
+	return false
 }
 
 // abort returns every un-pushed buffer for recycling when reassembly is

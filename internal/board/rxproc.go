@@ -84,6 +84,17 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		return
 	}
 	rs := b.getReasm(ch, rc.c.VCI)
+	// Refresh the idle clock before any sleep below: a reassembly being
+	// actively fed must never expire mid-cell.
+	b.noteReasmActivity(rs)
+
+	if b.cfg.RejectDuplicates && rs.duplicate(b.cfg.Strategy, rc) {
+		b.stats.CellsDuplicate++
+		if b.eng.Tracing() {
+			b.eng.Tracef("drop: %s duplicate cell vci=%d seq=%d", b.cfg.Name, rc.c.VCI, rc.c.Seq)
+		}
+		return
+	}
 
 	off, dataLen, complete, ok := rs.ingest(b.cfg.Strategy, rc, b.cfg.StripeWidth)
 	if !ok {
@@ -100,12 +111,19 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 	data = append(data, rc.c.Payload[:dataLen]...)
 	n := dataLen
 	combined := false
+	if b.cfg.CheckCRC && dataLen > 0 {
+		if rs.shadow == nil {
+			rs.shadow = b.getShadow()
+		}
+		rs.record(off, rc.c.Payload[:dataLen])
+	}
 
 	// Double-cell combining: look at the next cell header; if its
 	// payload lands immediately after this one, issue a single longer
 	// DMA (§2.5.1). Skew makes this opportunity rare (§2.6).
 	if b.cfg.RxDMA == DoubleCell && !complete && dataLen == atm.CellPayload && !rs.dropping {
-		if next, okPeek := b.rxFIFO.Peek(); okPeek && next.c.VCI == rc.c.VCI && !next.c.Last {
+		if next, okPeek := b.rxFIFO.Peek(); okPeek && next.c.VCI == rc.c.VCI && !next.c.Last &&
+			!(b.cfg.RejectDuplicates && rs.duplicate(b.cfg.Strategy, next)) {
 			if noff, okp := rs.wouldPlaceAt(b.cfg.Strategy, next, b.cfg.StripeWidth); okp && noff == off+dataLen {
 				b.rxFIFO.TryRecv()
 				b.stats.CellsRx++
@@ -116,6 +134,9 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 					n += dl2
 					complete = c2
 					combined = true
+					if b.cfg.CheckCRC && dl2 > 0 {
+						rs.record(off+dataLen, next.c.Payload[:dl2])
+					}
 				}
 			}
 		}
@@ -153,6 +174,20 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		return
 	}
 
+	if complete && b.cfg.CheckCRC && !rs.crcOK() {
+		// The recomputed AAL5 CRC disagrees with the trailer: a corrupted
+		// cell slipped through with consistent framing. Discard the PDU
+		// before it reaches the host (§2.3: error mechanisms are in place).
+		b.putRxData(data)
+		b.putSegs(segs)
+		b.stats.PDUsCRCDropped++
+		if b.eng.Tracing() {
+			b.eng.Tracef("drop: %s rx CRC mismatch vci=%d len=%d", b.cfg.Name, rc.c.VCI, rs.pduLen)
+		}
+		b.finishRxPDU(p, ch, rs, false)
+		return
+	}
+
 	cmd := rxCmd{ch: ch, segs: segs, data: data, combined: combined}
 	if complete && b.eng.Tracing() {
 		b.eng.Tracef("pdu: %s rx complete vci=%d len=%d", b.cfg.Name, rc.c.VCI, rs.pduLen)
@@ -165,6 +200,7 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		cmd.pushes = pushes
 		b.stats.PDUsRx++
 		delete(ch.reasm, rc.c.VCI)
+		b.releaseShadow(rs)
 	} else {
 		pushes, _ := rs.duePushes(false)
 		cmd.pushes = pushes
@@ -185,7 +221,15 @@ func (b *Board) ensureEOPBuffer(p *sim.Proc, ch *Channel, rs *reasmState) {
 }
 
 // finishRxPDU retires an abandoned reassembly, recycling its buffers.
-func (b *Board) finishRxPDU(_ *sim.Proc, ch *Channel, rs *reasmState, delivered bool) {
+// If part of the PDU already streamed to the host, an abort-marker
+// descriptor (FlagErr) follows it through the DMA command queue — so it
+// orders behind any in-flight data — telling the driver to discard the
+// partial delivery and recycle its buffers.
+func (b *Board) finishRxPDU(p *sim.Proc, ch *Channel, rs *reasmState, delivered bool) {
+	if !delivered && rs.anyPushed() {
+		b.rxCmds.Send(p, rxCmd{ch: ch, pushes: []queue.Desc{{VCI: rs.vci, Flags: queue.FlagErr}}})
+		b.stats.RxAbortMarkers++
+	}
 	scratch := rs.abort()
 	ch.stash = append(ch.stash, scratch...)
 	b.stats.ScratchRecycled += int64(len(scratch))
@@ -196,6 +240,7 @@ func (b *Board) finishRxPDU(_ *sim.Proc, ch *Channel, rs *reasmState, delivered 
 		}
 	}
 	delete(ch.reasm, rs.vci)
+	b.releaseShadow(rs)
 }
 
 // rxDMAEngine is the receive DMA controller: one bus write transaction

@@ -125,7 +125,11 @@ type Node struct {
 type Testbed struct {
 	*Cluster
 	A, B *Node
-	sink *txSink // present in TxIsolated mode
+	// AB and BA are the directed stripe groups wiring the boards (A→B
+	// and B→A), exposed so experiments can read per-direction link and
+	// fault-injection statistics. Both are nil in TxIsolated mode.
+	AB, BA *atm.StripeGroup
+	sink   *txSink // present in TxIsolated mode
 }
 
 // txSink counts cells absorbed from an isolated transmitter.
@@ -160,13 +164,20 @@ func NewTestbed(opt Options) *Testbed {
 		return tb
 	}
 
-	wire := func(from, to *Node) {
-		g := atm.NewStripeGroup(e, atm.StripeWidth, opt.Link)
+	// Each direction gets its own fault site so the A→B and B→A
+	// injectors draw from independent deterministic streams.
+	wire := func(from, to *Node, site string) *atm.StripeGroup {
+		lc := opt.Link
+		if lc.Fault != nil && lc.FaultSite == "" {
+			lc.FaultSite = site
+		}
+		g := atm.NewStripeGroup(e, atm.StripeWidth, lc)
 		from.Board.AttachTxLinks(g.Links())
 		to.Board.AttachRxLinks(g)
+		return g
 	}
-	wire(tb.A, tb.B)
-	wire(tb.B, tb.A)
+	tb.AB = wire(tb.A, tb.B, "tb/ab")
+	tb.BA = wire(tb.B, tb.A, "tb/ba")
 	return tb
 }
 

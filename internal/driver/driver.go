@@ -108,6 +108,7 @@ type Stats struct {
 	RxPDUs        int64
 	RxBuffers     int64
 	TxStalls      int64 // full-ring waits
+	RxAborted     int64 // partial PDUs discarded on a board abort marker
 	RxChecksumErr int64
 	Recoveries    int64 // lazy-invalidation recoveries performed
 	SGMapEntries  int64 // scatter/gather map entries installed (VirtualDMA)
@@ -472,6 +473,14 @@ func (d *Driver) rxThread(p *sim.Proc) {
 				break
 			}
 			processed = true
+			if desc.Flags&queue.FlagErr != 0 {
+				// Abort marker: the board abandoned a PDU after part of it
+				// had already streamed up (reassembly timeout or late
+				// error). The marker carries no buffer; the partial
+				// delivery's buffers go back to the reserve pool.
+				d.abortPartial(desc.VCI)
+				continue
+			}
 			d.stats.RxBuffers++
 			// Replenish the free queue immediately.
 			if len(d.reserve) > 0 {
@@ -498,6 +507,25 @@ func (d *Driver) rxThread(p *sim.Proc) {
 		}
 		d.rxCond.Wait(p)
 	}
+}
+
+// abortPartial discards the in-progress partial PDU in response to a
+// board abort marker, returning its buffers to the reserve pool — the
+// driver-side half of graceful degradation: no received-buffer leak, no
+// handler invocation for a PDU the board could not finish.
+func (d *Driver) abortPartial(vci atm.VCI) {
+	d.stats.RxAborted++
+	if d.host.Eng.Tracing() {
+		d.host.Eng.Tracef("drv: ch%d rx abort vci=%d bufs=%d", d.cfg.ChannelIndex, vci, len(d.partial))
+	}
+	for _, desc := range d.partial {
+		rb := d.byPA[desc.Addr]
+		if rb == nil {
+			panic(fmt.Sprintf("driver: abort marker over unknown buffer %#x", uint32(desc.Addr)))
+		}
+		d.reserve = append(d.reserve, rb)
+	}
+	d.partial = nil
 }
 
 // deliverPDU assembles a message view over the received buffers, applies

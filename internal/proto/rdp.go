@@ -2,7 +2,9 @@ package proto
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/atm"
@@ -38,7 +40,18 @@ type RDPStats struct {
 	OutOfOrder  int64 // data segments discarded awaiting earlier ones
 	ChecksumErr int64
 	DupAcks     int64
+	Failed      int64 // sessions closed by the MaxRetries cap
 }
+
+// ErrMaxRetries is the terminal session error raised when MaxRetries
+// consecutive retransmission rounds elapse without any acknowledgement
+// progress — the peer is unreachable, and continuing to retransmit into
+// a dead link would only add load where capacity is already gone.
+var ErrMaxRetries = errors.New("rdp: retransmission limit reached, peer unreachable")
+
+// maxBackoffShift caps the exponential backoff at base << 6 = 64× the
+// configured retransmit timeout.
+const maxBackoffShift = 6
 
 // NewRDP returns an RDP instance over ip.
 func NewRDP(h *hostsim.Host, ip *IP) *RDP { return &RDP{host: h, ip: ip} }
@@ -68,8 +81,17 @@ type RDPOpen struct {
 	// Window is the go-back-N send window in segments (default 8).
 	Window int
 	// RetransmitTimeout arms the sender's timer (default 2 ms — a few
-	// simulated round trips).
+	// simulated round trips). The effective interval carries ±25%
+	// deterministic jitter; with MaxRetries set, sustained silence from
+	// the peer additionally doubles it per barren round (capped at 64×).
 	RetransmitTimeout time.Duration
+	// MaxRetries, when positive, caps consecutive timeout rounds with no
+	// word from the peer; beyond it the session fails with ErrMaxRetries
+	// (Push returns it, WaitAcked unblocks, Err reports it). 0 (the
+	// default) retries forever — over a fragmenting lower layer, long
+	// silent streaks are routine for large segments, so the cap is for
+	// callers that would rather detect a dead peer than wait it out.
+	MaxRetries int
 }
 
 // Open implements xkernel.Protocol.
@@ -96,6 +118,7 @@ func (r *RDP) Open(addr any) (xkernel.Session, error) {
 		notFull:  sim.NewCond(r.host.Eng),
 		acked:    sim.NewCond(r.host.Eng),
 		retxWork: sim.NewCond(r.host.Eng),
+		rng:      r.host.Eng.DeriveRand(fmt.Sprintf("rdp/r%v/vci%d", a.Remote, a.VCI)),
 	}
 	lower.SetHandler(s.demux)
 	r.host.Eng.Go(fmt.Sprintf("rdp-retx-vci%d", a.VCI), s.retransmitter)
@@ -118,6 +141,17 @@ type rdpSession struct {
 	retxWork *sim.Cond
 	closed   bool
 
+	// Backoff state: consecutive counts timeout rounds without hearing
+	// anything from the peer. Any inbound acknowledgement — even a
+	// duplicate — proves the path is alive and resets it: a lossy link
+	// keeps retransmitting at the base rate, while a dead one backs off
+	// exponentially until MaxRetries fails the session. rng is a
+	// session-private derived stream so the jitter draws never perturb
+	// the engine's main RNG sequence.
+	consecutive int
+	rng         *rand.Rand
+	err         error // terminal error (ErrMaxRetries); nil while healthy
+
 	// Receiver state.
 	expected uint32
 }
@@ -136,8 +170,11 @@ func (s *rdpSession) Close() {
 // stores a retransmission copy, and returns once the segment is queued.
 // Use WaitAcked to drain the window.
 func (s *rdpSession) Push(p *sim.Proc, m *msg.Message) error {
-	for s.nextSeq-s.sendBase >= uint32(s.addr.Window) {
+	for s.err == nil && s.nextSeq-s.sendBase >= uint32(s.addr.Window) {
 		s.notFull.Wait(p)
+	}
+	if s.err != nil {
+		return s.err
 	}
 	data, err := m.Bytes()
 	if err != nil {
@@ -157,12 +194,17 @@ func (s *rdpSession) Push(p *sim.Proc, m *msg.Message) error {
 	return nil
 }
 
-// WaitAcked blocks until every pushed message has been acknowledged.
+// WaitAcked blocks until every pushed message has been acknowledged, or
+// the session fails terminally (check Err afterwards).
 func (s *rdpSession) WaitAcked(p *sim.Proc) {
-	for s.sendBase != s.nextSeq {
+	for s.err == nil && s.sendBase != s.nextSeq {
 		s.acked.Wait(p)
 	}
 }
+
+// Err reports the session's terminal error — ErrMaxRetries once the
+// retry cap fired — or nil while the session is healthy.
+func (s *rdpSession) Err() error { return s.err }
 
 // sendSegment builds the header (+ checksummed payload for data) and
 // pushes it through IP.
@@ -194,19 +236,76 @@ func (s *rdpSession) sendSegment(p *sim.Proc, typ byte, seq uint32, payload []by
 	})
 }
 
+// backoffGraceRounds is how many barren rounds run at the base timeout
+// before the interval starts doubling (capped sessions only). Over a
+// fragmenting lower layer a large segment routinely needs several
+// whole-segment retransmissions to get every fragment through at once —
+// the receiver stays silent the entire time, so early rounds of silence
+// are weak evidence of a dead peer. Sustained silence beyond the grace
+// is strong evidence, and the interval then grows exponentially.
+const backoffGraceRounds = 4
+
+// backoffTimeout is the current retransmit interval. Uncapped sessions
+// (MaxRetries 0) use the fixed base timeout; sessions probing for a
+// dead peer (MaxRetries > 0) hold the base for backoffGraceRounds
+// barren rounds, then double per round up to 64× — no point hammering a
+// path that has been silent that long. Both cases apply a ±25% jitter
+// factor drawn from the session's derived stream so parallel sessions
+// don't retransmit in lockstep.
+func (s *rdpSession) backoffTimeout() time.Duration {
+	shift := 0
+	if s.addr.MaxRetries > 0 {
+		shift = s.consecutive - backoffGraceRounds
+		if shift < 0 {
+			shift = 0
+		}
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+	}
+	d := s.addr.RetransmitTimeout << shift
+	jitter := 0.75 + s.rng.Float64()/2
+	return time.Duration(float64(d) * jitter)
+}
+
 func (s *rdpSession) armTimer() {
-	if s.timer.Pending() || s.sendBase == s.nextSeq {
+	if s.timer.Pending() || s.sendBase == s.nextSeq || s.closed {
 		return
 	}
 	eng := s.r.host.Eng
-	s.timer = eng.After(s.addr.RetransmitTimeout, func() {
+	s.timer = eng.After(s.backoffTimeout(), func() {
 		s.timer = sim.Event{}
 		if s.closed || s.sendBase == s.nextSeq {
 			return
 		}
 		s.r.stats.Timeouts++
+		s.consecutive++
+		if s.addr.MaxRetries > 0 && s.consecutive > s.addr.MaxRetries {
+			s.fail(ErrMaxRetries)
+			return
+		}
 		s.retxWork.Broadcast()
 	})
+}
+
+// fail terminates the session: it records the error, closes the lower
+// session, and wakes every blocked sender so Push/WaitAcked observe the
+// error instead of sleeping forever on a dead peer.
+func (s *rdpSession) fail(err error) {
+	if s.closed || s.err != nil {
+		return
+	}
+	s.err = err
+	s.closed = true
+	s.r.stats.Failed++
+	if s.r.host.Eng.Tracing() {
+		s.r.host.Eng.Tracef("proto: rdp vci=%d failed after %d retries: %v", s.addr.VCI, s.consecutive-1, err)
+	}
+	s.cancelTimer()
+	s.lower.Close()
+	s.notFull.Broadcast()
+	s.acked.Broadcast()
+	s.retxWork.Broadcast()
 }
 
 func (s *rdpSession) cancelTimer() {
@@ -299,6 +398,11 @@ func (s *rdpSession) processAck(ack uint32) {
 	if ack == s.sendBase {
 		if s.sendBase != s.nextSeq {
 			s.r.stats.DupAcks++
+			// Even a duplicate ack proves the peer and both directions of
+			// the path are alive — only the segments are being lost. Keep
+			// retransmitting at the base rate; exponential backoff is for
+			// silence, not for loss.
+			s.consecutive = 0
 		}
 		return
 	}
@@ -311,6 +415,7 @@ func (s *rdpSession) processAck(ack uint32) {
 		delete(s.unacked, s.sendBase)
 		s.sendBase++
 	}
+	s.consecutive = 0 // forward progress resets the backoff
 	s.notFull.Broadcast()
 	s.acked.Broadcast()
 	s.cancelTimer()
@@ -330,9 +435,10 @@ var (
 )
 
 // WaitAckedSession lets callers drain an RDP session through the
-// xkernel.Session interface.
+// xkernel.Session interface and observe its terminal error.
 type WaitAckedSession interface {
 	WaitAcked(p *sim.Proc)
+	Err() error
 }
 
 var _ WaitAckedSession = (*rdpSession)(nil)

@@ -1,0 +1,86 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// runDeadPeer opens an RDP session over a link that loses every cell
+// and pushes into it until the MaxRetries cap fires. Returns the
+// session, the first Push error, and the time WaitAcked unblocked.
+func runDeadPeer(t *testing.T, seed int64) (*rdpSession, RDPStats, error, sim.Time) {
+	t.Helper()
+	sp := newLossyStackPair(t, 1.0, seed) // every A→B cell is lost: the peer is dead
+	rA := NewRDP(sp.hA, sp.ipA)
+	sess, err := rA.Open(RDPOpen{Remote: 2, VCI: 10, Window: 2, MaxRetries: 6, RetransmitTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := sess.(*rdpSession)
+	var pushErr error
+	var failAt sim.Time
+	sp.eng.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			m, _ := msg.FromBytes(sp.hA.Kernel, pattern(500, byte(i)))
+			if pushErr = tx.Push(p, m); pushErr != nil {
+				break
+			}
+		}
+		tx.WaitAcked(p)
+		failAt = p.Now()
+	})
+	sp.eng.Run()
+	sp.eng.Shutdown()
+	return tx, rA.Stats(), pushErr, failAt
+}
+
+func TestRDPMaxRetriesFailsDeadPeer(t *testing.T) {
+	tx, st, pushErr, failAt := runDeadPeer(t, 7)
+
+	// The third Push blocked on the full window and must have been woken
+	// with the terminal error rather than left waiting forever.
+	if !errors.Is(pushErr, ErrMaxRetries) {
+		t.Fatalf("blocked Push returned %v, want ErrMaxRetries", pushErr)
+	}
+	if !errors.Is(tx.Err(), ErrMaxRetries) {
+		t.Fatalf("Err() = %v, want ErrMaxRetries", tx.Err())
+	}
+	if failAt == 0 {
+		t.Fatal("WaitAcked never unblocked")
+	}
+	if st.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", st.Failed)
+	}
+	// MaxRetries=6 means exactly 7 timer firings: six retransmission
+	// rounds, then the firing that trips the cap.
+	if st.Timeouts != 7 {
+		t.Errorf("Timeouts = %d, want 7", st.Timeouts)
+	}
+	// The interval sequence is 5 rounds at the ~1 ms base (consecutive
+	// 0–4, all within the grace) then exponential doubling (2, 4 ms),
+	// each jittered within ±25%: the failure-time bracket proves the
+	// backoff actually grew — 7 fixed-interval rounds would finish by
+	// ~8.75 ms even at maximum jitter.
+	const baseSum = 5 + 2 + 4 // ms, un-jittered
+	lo := sim.Time(baseSum * 0.75 * float64(time.Millisecond))
+	hi := sim.Time((baseSum*1.25 + 1) * float64(time.Millisecond))
+	if failAt < lo || failAt > hi {
+		t.Errorf("session failed at %v, want within [%v, %v]", time.Duration(failAt), time.Duration(lo), time.Duration(hi))
+	}
+	// A failed session rejects further traffic immediately.
+	if err := tx.Push(nil, nil); !errors.Is(err, ErrMaxRetries) {
+		t.Errorf("Push after failure returned %v", err)
+	}
+}
+
+func TestRDPDeadPeerDeterministicForFixedSeed(t *testing.T) {
+	_, st1, _, at1 := runDeadPeer(t, 11)
+	_, st2, _, at2 := runDeadPeer(t, 11)
+	if st1 != st2 || at1 != at2 {
+		t.Fatalf("dead-peer runs diverged:\n%+v at %v\n%+v at %v", st1, at1, st2, at2)
+	}
+}

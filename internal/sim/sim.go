@@ -19,7 +19,9 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 )
@@ -85,6 +87,7 @@ func (ev Event) Cancelled() bool { return ev.n != nil && ev.n.cancelledGen == ev
 // usable; construct one with NewEngine.
 type Engine struct {
 	now      Time
+	seed     int64
 	seq      uint64
 	pq       []*eventNode
 	freeList *eventNode
@@ -101,7 +104,7 @@ type Engine struct {
 // pseudo-random source seeded with seed (simulation components that need
 // randomness must draw from Engine.Rand for runs to be reproducible).
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -109,6 +112,25 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic pseudo-random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed returns the seed the engine was constructed with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// DeriveRand returns an independent deterministic pseudo-random source
+// keyed by the engine seed and a site name. Components that draw
+// randomness out-of-band from the main simulation (fault injectors,
+// jittered timers) must each use their own derived source: the streams
+// never perturb each other or Engine.Rand, so adding or removing one
+// injection site leaves every other site's draws — and therefore the
+// rest of the simulation — bit-for-bit unchanged.
+func (e *Engine) DeriveRand(site string) *rand.Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(e.seed))
+	h.Write(b[:])
+	h.Write([]byte(site))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 // SetTracer installs a trace callback invoked by Tracef. A nil tracer
 // disables tracing.
