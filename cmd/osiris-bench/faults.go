@@ -29,16 +29,38 @@ func runFaults() {
 	if !(*flagFaults || *flagAll) {
 		return
 	}
-	fmt.Println("== Fault plane: RDP delivery under burst cell loss ==")
 	cfg := core.LossSweep{
 		CorruptProb: 0.0005,
 		DupProb:     0.0005,
 		Seed:        *flagFaultsSeed,
+		Workers:     workers(),
 	}
 	if *flagQuick {
 		cfg.Rates = []float64{0, 0.001, 0.01, 0.05}
 		cfg.Messages = 16
 	}
+	// The per-rate jobs run inside core.RunLossSweep (named
+	// faults/rate=<r>), so apply the -run filter to the rate grid here;
+	// a filter that matches no rate skips the whole section. Note a
+	// filtered run writes the JSON artifact with only the selected
+	// rates — a debugging aid, not a reference report.
+	if runFilter != nil {
+		rates := cfg.Rates
+		if rates == nil {
+			rates = core.DefaultLossRates()
+		}
+		var kept []float64
+		for _, r := range rates {
+			if runFilter.MatchString(fmt.Sprintf("faults/rate=%g", r)) {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			return
+		}
+		cfg.Rates = kept
+	}
+	fmt.Println("== Fault plane: RDP delivery under burst cell loss ==")
 	res, err := core.RunLossSweep(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faults: %v\n", err)

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/parexp"
+)
+
+var (
+	flagParBench    = flag.Bool("parbench", false, "measure the parallel runner's scaling over the Figure 3 sweep (writes -parbenchout)")
+	flagParBenchOut = flag.String("parbenchout", "BENCH_parallel.json", "output path for the scaling JSON report")
+	flagParWorkers  = flag.String("parworkers", "1,2,4,8", "comma-separated worker counts to measure")
+)
+
+func init() { extraSections = append(extraSections, runParBench) }
+
+// parBenchPoint is one worker count's measurement over the fixed sweep.
+type parBenchPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Efficiency  float64 `json:"efficiency"`
+	JobP50Ms    float64 `json:"job_p50_ms"`
+	JobP95Ms    float64 `json:"job_p95_ms"`
+}
+
+// parBenchReport is the BENCH_parallel.json schema. Fingerprint hashes
+// every job's simulated result in canonical order; Invariant records
+// whether all measured worker counts produced the same fingerprint —
+// the determinism contract, checked on every run of this section.
+type parBenchReport struct {
+	Schema      string          `json:"schema"`
+	Generated   string          `json:"generated"`
+	GoVersion   string          `json:"go_version"`
+	NumCPU      int             `json:"num_cpu"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Workload    string          `json:"workload"`
+	Jobs        int             `json:"jobs"`
+	Fingerprint string          `json:"fingerprint"`
+	Invariant   bool            `json:"invariant"`
+	Points      []parBenchPoint `json:"points"`
+}
+
+// fingerprintResults hashes the canonical-order (name, value, error)
+// triples — the deterministic payload, excluding wall/alloc noise.
+func fingerprintResults(results []parexp.Result) string {
+	h := sha256.New()
+	for _, r := range results {
+		fmt.Fprintf(h, "%s|%v|%v\n", r.Name, r.Value, r.Err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// runParBench runs the full Figure 3 receive sweep once per requested
+// worker count and reports wall time, speedup and efficiency relative
+// to the serial (-workers=1) run, and per-job latency percentiles. The
+// sweep jobs are the real evaluation workload, not a synthetic load, so
+// the curve predicts how much -workers buys `osiris-bench -all`.
+//
+// Speedup is bounded by min(workers, GOMAXPROCS): on a single-CPU host
+// every point measures ~1.0× (scheduling overhead aside), which is why
+// the report records num_cpu and gomaxprocs alongside the points.
+func runParBench() {
+	if !*flagParBench {
+		return
+	}
+	fmt.Println("== Parallel runner scaling (Figure 3 sweep) ==")
+
+	var counts []int
+	for _, f := range strings.Split(*flagParWorkers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "parbench: bad -parworkers entry %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	jobs := receiveJobs("fig3", fig3Curves(), sweepSizes())
+	report := parBenchReport{
+		Schema:     "osiris-parbench/1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workload:   "fig3 receive sweep",
+		Jobs:       len(jobs),
+		Invariant:  true,
+	}
+
+	var serialWall float64
+	for _, w := range counts {
+		start := time.Now()
+		results := parexp.Run(w, jobs)
+		wall := time.Since(start).Seconds()
+		fp := fingerprintResults(results)
+		if report.Fingerprint == "" {
+			report.Fingerprint = fp
+		} else if fp != report.Fingerprint {
+			report.Invariant = false
+			fmt.Fprintf(os.Stderr, "parbench: DETERMINISM VIOLATION at workers=%d: %s != %s\n",
+				w, fp, report.Fingerprint)
+		}
+		if serialWall == 0 {
+			serialWall = wall
+		}
+		walls := parexp.Walls(results)
+		pt := parBenchPoint{
+			Workers:     w,
+			WallSeconds: wall,
+			Speedup:     serialWall / wall,
+			Efficiency:  serialWall / wall / float64(w),
+			JobP50Ms:    float64(parexp.Percentile(walls, 50).Microseconds()) / 1e3,
+			JobP95Ms:    float64(parexp.Percentile(walls, 95).Microseconds()) / 1e3,
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("workers=%-2d  wall %7.3fs  speedup %5.2fx  efficiency %4.0f%%  job p50 %7.1fms  p95 %7.1fms\n",
+			w, pt.WallSeconds, pt.Speedup, pt.Efficiency*100, pt.JobP50Ms, pt.JobP95Ms)
+	}
+	if report.Invariant {
+		fmt.Printf("results byte-identical across worker counts (fingerprint %.12s…)\n", report.Fingerprint)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagParBenchOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagParBenchOut)
+}

@@ -7,10 +7,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/board"
 	"repro/internal/core"
+	"repro/internal/parexp"
 	"repro/internal/workload"
 )
 
@@ -53,22 +55,56 @@ type simBenchReport struct {
 	Results   []simBenchResult `json:"results"`
 }
 
-// best runs one workload -benchreps times (a fresh system each time)
-// and keeps the repetition with the lowest wall time; the simulated
-// quantities are deterministic, so only the wall-clock noise varies.
-func best(bench func() simBenchResult) simBenchResult {
+// bestResults runs every workload -benchreps times (a fresh system each
+// repetition) as parexp jobs named simbench/<workload>/rep<i>, and
+// keeps, per workload, the repetition with the lowest wall time; the
+// simulated quantities are deterministic, so only the wall-clock noise
+// varies and the Check map is taken from the first surviving rep.
+// Workloads whose reps were all filtered out by -run are omitted.
+//
+// Wall-clock and allocation figures are clean at -workers=1 (the
+// measurement discipline the committed BENCH_simcore.json uses);
+// parallel workers co-run repetitions, which inflates both, so parallel
+// simbench is for smoke coverage, not for quotable numbers.
+func bestResults(workloads []struct {
+	name string
+	fn   func() simBenchResult
+}) []simBenchResult {
 	reps := *flagReps
 	if reps < 1 {
 		reps = 1
 	}
-	r := bench()
-	for i := 1; i < reps; i++ {
-		if n := bench(); n.WallSeconds < r.WallSeconds {
-			n.Check = r.Check // identical by determinism
-			r = n
+	var jobs []parexp.Job
+	for _, w := range workloads {
+		w := w
+		for i := 0; i < reps; i++ {
+			jobs = append(jobs, parexp.Job{
+				Name: fmt.Sprintf("simbench/%s/rep%d", w.name, i),
+				Run:  func() (any, error) { return w.fn(), nil },
+			})
 		}
 	}
-	return r
+	results := runJobs(selected(jobs))
+	var out []simBenchResult
+	for _, w := range workloads {
+		var best *simBenchResult
+		for _, r := range results {
+			if r.Err != nil || !strings.HasPrefix(r.Name, "simbench/"+w.name+"/") {
+				continue
+			}
+			rep := r.Value.(simBenchResult)
+			if best == nil {
+				best = &rep
+			} else if rep.WallSeconds < best.WallSeconds {
+				rep.Check = best.Check // identical by determinism
+				best = &rep
+			}
+		}
+		if best != nil {
+			out = append(out, *best)
+		}
+	}
+	return out
 }
 
 // measure runs fn with the memory accounting bracketed, attributing the
@@ -127,26 +163,49 @@ func benchFig3Receive() simBenchResult {
 	})
 }
 
-// benchFanIn measures the switched fan-in workload: 4 clients blasting
-// UDP/IP messages at one server through the cell switch, the overload
-// regime where the fabric's output queue drops cells. The drop count is
-// part of the determinism check.
+// benchFanIn measures the switched fan-in workload: 4 clients pushing
+// UDP/IP messages at one server through the cell switch, paced into the
+// partial-overload regime where the server's board — not the fabric —
+// is the bottleneck and sheds load at its receive FIFO.
+//
+// The earlier form of this bench blasted all 4 clients at full rate
+// with no pacing. That is sustained 4× incast: the switch's output
+// queue tail-drops ~35% of cells, and because the four VCIs' cells
+// interleave round-robin through the congested queue, every single
+// message loses at least one cell — the committed report showed
+// `delivered: 0` / `aggregate_mbps: 0` against 6538 switch drops.
+// Investigation (deterministic replay across pacing configurations)
+// showed the delivery accounting is correct; the workload choice made
+// the check structurally zero, so it pinned nothing about the delivery
+// path. The paced configuration below keeps a congestion signature
+// (board FIFO drops, damaged-PDU discards) while most messages deliver
+// and are verified byte for byte, so every check value carries signal:
+// a regression in pacing, switching, reassembly, or delivery accounting
+// moves at least one of them.
 func benchFanIn() simBenchResult {
 	const clients, msgSize, count = 4, 8192, 25
 	cl := core.NewCluster(core.Options{}, clients+1)
 	defer cl.Shutdown()
 	return measure("fanin_4x8k", func() (uint64, time.Duration, int64, map[string]float64) {
 		ev0 := cl.Eng.Events()
-		res, err := cl.RunFanIn(workload.FanIn{Clients: clients, MessageBytes: msgSize, Messages: count})
+		res, err := cl.RunFanIn(workload.FanIn{
+			Clients: clients, MessageBytes: msgSize, Messages: count,
+			Gap:     2 * time.Millisecond,
+			Stagger: 500 * time.Microsecond,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench fanin: %v\n", err)
 			return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), 0, nil
 		}
+		bs := cl.Nodes[0].Board.Stats()
 		cells := res.SwitchForwarded + res.SwitchDropped
 		return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), cells, map[string]float64{
-			"delivered":      float64(res.Delivered),
-			"switch_dropped": float64(res.SwitchDropped),
-			"aggregate_mbps": res.AggregateMbps,
+			"delivered":        float64(res.Delivered),
+			"aggregate_mbps":   res.AggregateMbps,
+			"switch_forwarded": float64(res.SwitchForwarded),
+			"switch_dropped":   float64(res.SwitchDropped),
+			"fifo_dropped":     float64(bs.CellsDroppedFIFO),
+			"pdus_dropped":     float64(bs.PDUsDropped),
 		}
 	})
 }
@@ -174,10 +233,13 @@ func runSimBench() {
 		Schema:    "osiris-simbench/1",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
-		Results: []simBenchResult{
-			best(benchFig3Receive),
-			best(benchFanIn),
-		},
+		Results: bestResults([]struct {
+			name string
+			fn   func() simBenchResult
+		}{
+			{"fig3_receive_64k", benchFig3Receive},
+			{"fanin_4x8k", benchFanIn},
+		}),
 	}
 
 	if *flagBenchRef != "" {

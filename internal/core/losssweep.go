@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hostsim"
 	"repro/internal/msg"
+	"repro/internal/parexp"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -54,6 +55,12 @@ type LossSweep struct {
 	// Seed seeds every point's fresh simulation (0 selects
 	// DefaultSeed; ZeroSeed requests a literal zero).
 	Seed int64
+	// Workers fans the per-rate runs across a parexp pool. Each rate
+	// is an independent, seeded simulation, and the points are merged
+	// back in rate order, so the result — and its JSON encoding — is
+	// byte-identical for any worker count. 0 or 1 runs the rates
+	// serially on the calling goroutine; negative selects GOMAXPROCS.
+	Workers int
 }
 
 // DefaultLossRates is the swept mean cell-loss grid: a clean control
@@ -176,12 +183,33 @@ func RunLossSweep(cfg LossSweep) (*LossSweepResult, error) {
 		Window:       cfg.Window,
 		MaxRetries:   cfg.MaxRetries,
 	}
-	for _, rate := range cfg.Rates {
-		pt, err := runLossPoint(cfg, rate)
-		if err != nil {
-			return nil, fmt.Errorf("core: loss sweep at rate %g: %w", rate, err)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1 // zero value keeps the historical serial behavior
+	}
+	jobs := make([]parexp.Job, len(cfg.Rates))
+	for i, rate := range cfg.Rates {
+		rate := rate
+		jobs[i] = parexp.Job{
+			Name: fmt.Sprintf("faults/rate=%g", rate),
+			Seed: seed,
+			// Heavier loss means more retransmission rounds and a longer
+			// simulated run; start those first.
+			Cost: rate,
+			Run: func() (any, error) {
+				pt, err := runLossPoint(cfg, rate)
+				if err != nil {
+					return nil, err
+				}
+				return pt, nil
+			},
 		}
-		res.Points = append(res.Points, pt)
+	}
+	for i, r := range parexp.Run(workers, jobs) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("core: loss sweep at rate %g: %w", cfg.Rates[i], r.Err)
+		}
+		res.Points = append(res.Points, r.Value.(LossSweepPoint))
 	}
 	return res, nil
 }

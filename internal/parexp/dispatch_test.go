@@ -1,0 +1,23 @@
+package parexp
+
+import "testing"
+
+func TestDispatchOrderByDescendingCost(t *testing.T) {
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i].Cost = float64(i % 3)
+	}
+	order := dispatchOrder(jobs)
+	for i := 1; i < len(order); i++ {
+		if jobs[order[i-1]].Cost < jobs[order[i]].Cost {
+			t.Fatalf("dispatch order not by descending cost: %v", order)
+		}
+	}
+	// Without hints the order is submission order.
+	plain := dispatchOrder(make([]Job, 4))
+	for i, v := range plain {
+		if v != i {
+			t.Fatalf("unhinted dispatch order = %v, want identity", plain)
+		}
+	}
+}
