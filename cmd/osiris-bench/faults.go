@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -88,19 +87,12 @@ func runFaults() {
 	fmt.Println(tab.Render())
 	fmt.Println("every delivery is verified byte for byte; loss surfaces as retransmission effort, never corruption")
 
+	// No reportHeader here: this artifact must be byte-identical run to
+	// run for a fixed seed (CI diffs it across worker counts), so it
+	// carries no timestamp.
 	report := struct {
 		Schema string `json:"schema"`
 		*core.LossSweepResult
 	}{"osiris-faults/1", res}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*flagFaultsOut, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "faults: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", *flagFaultsOut)
+	writeReport("faults", *flagFaultsOut, report)
 }

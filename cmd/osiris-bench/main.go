@@ -8,6 +8,11 @@
 // canonical submission order: stdout and every JSON artifact are
 // byte-identical for any worker count.
 //
+// Orthogonally, -shards partitions each simulated system itself over a
+// conservative-parallel engine group (sim.ShardGroup); results stay
+// byte-identical at any shard count, and -shardbench measures the
+// scaling and checks that invariant.
+//
 // Usage:
 //
 //	osiris-bench -all                # everything (a few minutes of CPU)
@@ -42,6 +47,7 @@ var (
 	flagFig4    = flag.Bool("fig4", false, "Figure 4: transmit-side throughput")
 	flagQuick   = flag.Bool("quick", false, "coarser sweeps and fewer messages per point")
 	flagWorkers = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS, 1 = serial)")
+	flagShards  = flag.Int("shards", 1, "engine shards per simulated system (1 = serial engine; >1 runs each testbed/cluster on a conservative-parallel shard group — results are byte-identical)")
 	flagRun     = flag.String("run", "", "regexp selecting experiment jobs by name, e.g. 'fig3/double.*65536' (enables all sections unless some are given)")
 )
 
@@ -62,7 +68,7 @@ func main() {
 			*flagAll = true
 		}
 	}
-	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagParBench) {
+	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagParBench || *flagShardBench) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -143,12 +149,16 @@ func sweepSizes() []int {
 	return workload.FigureSizes()
 }
 
+// dsOptions and alOptions are the two machine profiles of §4. Both pick
+// up -shards, so every table row and figure point can run its simulated
+// system on a sharded engine group; the printed numbers are identical
+// either way (the shard-invariance tests pin this).
 func dsOptions() core.Options {
-	return core.Options{Profile: hostsim.DEC5000_200(), Driver: driver.Config{Cache: driver.CacheLazy}}
+	return core.Options{Profile: hostsim.DEC5000_200(), Driver: driver.Config{Cache: driver.CacheLazy}, Shards: *flagShards}
 }
 
 func alOptions() core.Options {
-	return core.Options{Profile: hostsim.DEC3000_600(), Driver: driver.Config{Cache: driver.CacheNone}}
+	return core.Options{Profile: hostsim.DEC3000_600(), Driver: driver.Config{Cache: driver.CacheNone}, Shards: *flagShards}
 }
 
 func table1() {

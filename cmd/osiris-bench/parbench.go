@@ -2,7 +2,6 @@ package main
 
 import (
 	"crypto/sha256"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,9 +36,7 @@ type parBenchPoint struct {
 // whether all measured worker counts produced the same fingerprint —
 // the determinism contract, checked on every run of this section.
 type parBenchReport struct {
-	Schema      string          `json:"schema"`
-	Generated   string          `json:"generated"`
-	GoVersion   string          `json:"go_version"`
+	reportHeader
 	NumCPU      int             `json:"num_cpu"`
 	GoMaxProcs  int             `json:"gomaxprocs"`
 	Workload    string          `json:"workload"`
@@ -86,14 +83,12 @@ func runParBench() {
 
 	jobs := receiveJobs("fig3", fig3Curves(), sweepSizes())
 	report := parBenchReport{
-		Schema:     "osiris-parbench/1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workload:   "fig3 receive sweep",
-		Jobs:       len(jobs),
-		Invariant:  true,
+		reportHeader: newReportHeader("osiris-parbench/1"),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workload:     "fig3 receive sweep",
+		Jobs:         len(jobs),
+		Invariant:    true,
 	}
 
 	var serialWall float64
@@ -129,15 +124,5 @@ func runParBench() {
 		fmt.Printf("results byte-identical across worker counts (fingerprint %.12s…)\n", report.Fingerprint)
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*flagParBenchOut, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", *flagParBenchOut)
+	writeReport("parbench", *flagParBenchOut, report)
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// reportHeader is the common prefix of the BENCH_*.json artifacts that
+// record wall-clock measurements. Artifacts that must be byte-identical
+// run to run (BENCH_faults.json, which CI diffs across worker counts)
+// carry only a schema string — never embed this header there, the
+// timestamp would break the diff.
+type reportHeader struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+}
+
+// newReportHeader stamps a schema name with the generation time and
+// toolchain version.
+func newReportHeader(schema string) reportHeader {
+	return reportHeader{
+		Schema:    schema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// writeReport marshals v indented, appends the trailing newline, and
+// writes it to path. The JSON artifacts are the bench harness's whole
+// product, so failing to write one is fatal; label prefixes the error
+// with the section that was reporting.
+func writeReport(label, path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

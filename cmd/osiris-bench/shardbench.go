@@ -1,0 +1,147 @@
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var (
+	flagShardBench    = flag.Bool("shardbench", false, "measure the sharded engine's scaling on a switched fan-in workload (writes -shardbenchout)")
+	flagShardBenchOut = flag.String("shardbenchout", "BENCH_shards.json", "output path for the shard-scaling JSON report")
+	flagShardCounts   = flag.String("shardcounts", "1,2,4,8", "comma-separated shard counts to measure")
+)
+
+func init() { extraSections = append(extraSections, runShardBench) }
+
+// shardBenchPoint is one shard count's measurement. Events can differ
+// slightly between shard counts (a shard with an empty local queue skips
+// wakeups a serial engine would execute), so events/s denominators are
+// per-point; the Fingerprint hashes only the simulated results, which
+// must be byte-identical at every count.
+type shardBenchPoint struct {
+	Shards          int     `json:"shards"`
+	EffectiveShards int     `json:"effective_shards"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	Fingerprint     string  `json:"fingerprint"`
+}
+
+// shardBenchReport is the BENCH_shards.json schema. Invariant records
+// whether every measured shard count produced the same result
+// fingerprint — the determinism contract of the conservative-parallel
+// scheduler, checked on every run of this section. Speedup is bounded
+// by min(shards, GOMAXPROCS): on a single-CPU host every point measures
+// ~1.0× or below (barrier overhead), which is why the report records
+// num_cpu and gomaxprocs alongside the points.
+type shardBenchReport struct {
+	reportHeader
+	NumCPU     int               `json:"num_cpu"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Workload   string            `json:"workload"`
+	Invariant  bool              `json:"invariant"`
+	Points     []shardBenchPoint `json:"points"`
+}
+
+// runShardBench runs one switched fan-in incast — 7 clients at one
+// server through the cell fabric, the topology with the most shard
+// boundaries to cross — once per requested shard count, measuring wall
+// time and events/s and fingerprinting the simulated outcome. A
+// fingerprint mismatch is a determinism violation in the engine, so the
+// section writes its report and exits nonzero.
+func runShardBench() {
+	if !*flagShardBench {
+		return
+	}
+	fmt.Println("== Sharded engine scaling (fan-in incast) ==")
+
+	var counts []int
+	for _, f := range strings.Split(*flagShardCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "shardbench: bad -shardcounts entry %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	const clients, msgSize = 7, 8192
+	count := 30
+	if *flagQuick {
+		count = 8
+	}
+	w := workload.FanIn{
+		Clients: clients, MessageBytes: msgSize, Messages: count,
+		Gap:     time.Millisecond,
+		Stagger: 250 * time.Microsecond,
+	}
+
+	report := shardBenchReport{
+		reportHeader: newReportHeader("osiris-shardbench/1"),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workload:     fmt.Sprintf("fanin %dx%d switched incast, %d msgs/client", clients, msgSize, count),
+		Invariant:    true,
+	}
+
+	var serialWall float64
+	for _, k := range counts {
+		opt := core.Options{Shards: k}
+		cl := core.NewCluster(opt, clients+1)
+		start := time.Now()
+		res, err := cl.RunFanIn(w)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: shards=%d: %v\n", k, err)
+			cl.Shutdown()
+			os.Exit(1)
+		}
+		// The fingerprint covers the full result struct and the final
+		// virtual clock — everything deterministic — and deliberately
+		// excludes the event count (see shardBenchPoint).
+		h := sha256.New()
+		fmt.Fprintf(h, "%+v|%v\n", res, cl.Now())
+		fp := fmt.Sprintf("%x", h.Sum(nil))
+		pt := shardBenchPoint{
+			Shards:          k,
+			EffectiveShards: cl.Plan().Shards,
+			WallSeconds:     wall,
+			Events:          cl.Events(),
+			Fingerprint:     fp,
+		}
+		cl.Shutdown()
+		if wall > 0 {
+			pt.EventsPerSec = float64(pt.Events) / wall
+		}
+		if serialWall == 0 {
+			serialWall = wall
+		}
+		pt.Speedup = serialWall / wall
+		if len(report.Points) > 0 && fp != report.Points[0].Fingerprint {
+			report.Invariant = false
+			fmt.Fprintf(os.Stderr, "shardbench: DETERMINISM VIOLATION at shards=%d: %.12s… != %.12s…\n",
+				k, fp, report.Points[0].Fingerprint)
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("shards=%-2d (effective %d)  wall %7.3fs  %8.0f events/s  speedup %5.2fx\n",
+			k, pt.EffectiveShards, pt.WallSeconds, pt.EventsPerSec, pt.Speedup)
+	}
+	if report.Invariant {
+		fmt.Printf("results byte-identical across shard counts (fingerprint %.12s…)\n", report.Points[0].Fingerprint)
+	}
+
+	writeReport("shardbench", *flagShardBenchOut, report)
+	if !report.Invariant {
+		os.Exit(1)
+	}
+}

@@ -48,11 +48,9 @@ type simBenchResult struct {
 // same workloads measured before the event-core overhaul when a previous
 // report is supplied with -benchbaseline.
 type simBenchReport struct {
-	Schema    string           `json:"schema"`
-	Generated string           `json:"generated"`
-	GoVersion string           `json:"go_version"`
-	Baseline  []simBenchResult `json:"baseline,omitempty"`
-	Results   []simBenchResult `json:"results"`
+	reportHeader
+	Baseline []simBenchResult `json:"baseline,omitempty"`
+	Results  []simBenchResult `json:"results"`
 }
 
 // bestResults runs every workload -benchreps times (a fresh system each
@@ -150,13 +148,13 @@ func benchFig3Receive() simBenchResult {
 	defer tb.Shutdown()
 	const msgSize, count = 65536, 32
 	return measure("fig3_receive_64k", func() (uint64, time.Duration, int64, map[string]float64) {
-		ev0 := tb.Eng.Events()
+		ev0 := tb.Events()
 		mbps, err := tb.RunReceiveThroughput(msgSize, count)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench fig3: %v\n", err)
 		}
 		st := tb.B.Board.Stats()
-		return tb.Eng.Events() - ev0, time.Duration(tb.Eng.Now()), st.CellsRx, map[string]float64{
+		return tb.Events() - ev0, time.Duration(tb.Now()), st.CellsRx, map[string]float64{
 			"mbps":     mbps,
 			"cells_rx": float64(st.CellsRx),
 		}
@@ -184,10 +182,10 @@ func benchFig3Receive() simBenchResult {
 // moves at least one of them.
 func benchFanIn() simBenchResult {
 	const clients, msgSize, count = 4, 8192, 25
-	cl := core.NewCluster(core.Options{}, clients+1)
+	cl := core.NewCluster(core.Options{Shards: *flagShards}, clients+1)
 	defer cl.Shutdown()
 	return measure("fanin_4x8k", func() (uint64, time.Duration, int64, map[string]float64) {
-		ev0 := cl.Eng.Events()
+		ev0 := cl.Events()
 		res, err := cl.RunFanIn(workload.FanIn{
 			Clients: clients, MessageBytes: msgSize, Messages: count,
 			Gap:     2 * time.Millisecond,
@@ -195,11 +193,11 @@ func benchFanIn() simBenchResult {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench fanin: %v\n", err)
-			return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), 0, nil
+			return cl.Events() - ev0, time.Duration(cl.Now()), 0, nil
 		}
 		bs := cl.Nodes[0].Board.Stats()
 		cells := res.SwitchForwarded + res.SwitchDropped
-		return cl.Eng.Events() - ev0, time.Duration(cl.Eng.Now()), cells, map[string]float64{
+		return cl.Events() - ev0, time.Duration(cl.Now()), cells, map[string]float64{
 			"delivered":        float64(res.Delivered),
 			"aggregate_mbps":   res.AggregateMbps,
 			"switch_forwarded": float64(res.SwitchForwarded),
@@ -230,9 +228,7 @@ func runSimBench() {
 	}
 
 	report := simBenchReport{
-		Schema:    "osiris-simbench/1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
+		reportHeader: newReportHeader("osiris-simbench/1"),
 		Results: bestResults([]struct {
 			name string
 			fn   func() simBenchResult
@@ -276,15 +272,5 @@ func runSimBench() {
 			time.Duration(r.WallSeconds*1e9).Round(time.Microsecond))
 	}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*flagBenchOut, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", *flagBenchOut)
+	writeReport("simbench", *flagBenchOut, report)
 }

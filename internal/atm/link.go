@@ -97,6 +97,25 @@ func (cfg LinkConfig) deterministic() bool {
 	return false
 }
 
+// DrawsEngineRand reports whether the configuration consumes the
+// engine's shared RNG per cell: a LossRate coin, or a skew model not
+// known to ignore the RNG (nil means the NoSkew default). Such links
+// cannot cross shards — the shared stream is drawn in delivery order,
+// which depends on the partition — so the partitioner uses this to
+// refuse the topology rather than silently diverge. Fault injectors do
+// not count: they draw from site-derived streams that are identical at
+// any shard count.
+func (cfg LinkConfig) DrawsEngineRand() bool {
+	if cfg.LossRate > 0 {
+		return true
+	}
+	switch cfg.Skew.(type) {
+	case nil, NoSkew, ConstantSkew:
+		return false
+	}
+	return true
+}
+
 // LinkStats counts link activity. Sent + Duplicated = Delivered + Lost
 // once the link drains (every accepted or injector-cloned cell is
 // eventually delivered or lost).
@@ -149,6 +168,9 @@ type Link struct {
 	walkerArmed bool
 	slotArmed   bool
 	notFull     *sim.Cond
+
+	// Cross-shard half (nil for a link local to one engine). See xlink.go.
+	x *xlink
 }
 
 // NewLink creates a link; lossy or randomly skewed configurations also
@@ -206,6 +228,11 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	// The transmit FIFO is virtual: a queued cell occupies a slot from
 	// Send until its serialization starts, exactly when the paced
 	// machine's dequeue would have freed it.
+	if l.x != nil {
+		// No local walker pops delivered entries on a cross-shard link;
+		// prune the slots that have already freed instead.
+		l.purgeServed(l.eng.Now())
+	}
 	for l.queued(l.eng.Now()) >= l.cfg.FIFODepth {
 		l.armSlotWake()
 		l.notFull.Wait(p)
@@ -221,15 +248,23 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	// violation of that invariant into a loud failure instead of silent
 	// nondeterminism.
 	at := serEnd.Add(l.cfg.PropDelay + l.cfg.Skew.Delay(l.cfg.Index, nil))
+	prevLast := l.lastDeliver
 	if at <= l.lastDeliver {
 		at = l.lastDeliver + 1 // preserve per-link FIFO order
 	}
 	l.lastDeliver = at
-	l.push(linkCell{c: c, serStart: serStart, deliver: at})
 	l.stats.Sent++
-	if !l.walkerArmed {
-		l.walkerArmed = true
-		l.eng.AtCall(at, linkDeliverCB, l)
+	if l.x != nil {
+		// The occupancy ring keeps only the timing of the slot; the cell
+		// itself travels through the cross-shard buffer.
+		l.push(linkCell{serStart: serStart, deliver: at})
+		l.sendRemote(c, at, prevLast)
+	} else {
+		l.push(linkCell{c: c, serStart: serStart, deliver: at})
+		if !l.walkerArmed {
+			l.walkerArmed = true
+			l.eng.AtCall(at, linkDeliverCB, l)
+		}
 	}
 	if l.notFull.Waiting() > 0 {
 		l.armSlotWake()
@@ -370,6 +405,10 @@ func (l *Link) pace(p *sim.Proc) {
 		// advance lastDeliver: later cells keep their earlier slots and
 		// overtake the delayed one, bounded by the injector's ReorderMax.
 		deliverAt := at.Add(act.Delay)
+		if l.x != nil {
+			l.paceRemote(c, deliverAt, act.Duplicate)
+			continue
+		}
 		cell := c
 		l.eng.At(deliverAt, func() {
 			l.stats.Delivered++

@@ -139,6 +139,21 @@ type Switch struct {
 // NewSwitch creates a switch with nports ports and starts one egress
 // arbiter process per port.
 func NewSwitch(e *sim.Engine, nports int, cfg SwitchConfig) *Switch {
+	return newSwitch(nil, e, nil, nports, cfg)
+}
+
+// NewShardedSwitch creates a switch whose fabric runs on engine e of
+// group g while the node attached to port i lives on nodeEng[i]. Ports
+// whose node engine is e itself get ordinary local links; every other
+// port's ingress and egress stripe groups become cross-shard links, so
+// the port is a shard boundary with the link PropDelay as lookahead.
+func NewShardedSwitch(g *sim.ShardGroup, e *sim.Engine, nodeEng []*sim.Engine, cfg SwitchConfig) *Switch {
+	return newSwitch(g, e, nodeEng, len(nodeEng), cfg)
+}
+
+// newSwitch is the shared builder. nodeEng may be nil (all ports local
+// to e); otherwise nodeEng[i] is port i's far-end engine.
+func newSwitch(g *sim.ShardGroup, e *sim.Engine, nodeEng []*sim.Engine, nports int, cfg SwitchConfig) *Switch {
 	if nports < 2 {
 		panic("atm: a switch needs at least 2 ports")
 	}
@@ -154,12 +169,24 @@ func NewSwitch(e *sim.Engine, nports int, cfg SwitchConfig) *Switch {
 			inCfg.FaultSite = fmt.Sprintf("%s/in%d", site, i)
 			outCfg.FaultSite = fmt.Sprintf("%s/out%d", site, i)
 		}
+		far := e
+		if nodeEng != nil && nodeEng[i] != nil {
+			far = nodeEng[i]
+		}
 		pt := &SwitchPort{
 			index: i,
-			in:    NewStripeGroup(e, cfg.Width, inCfg),
-			out:   NewStripeGroup(e, cfg.Width, outCfg),
 			queue: sim.NewChan[laneCell](e, cfg.QueueCells),
 			inj:   fault.New(e, fmt.Sprintf("sw/port%d", i), cfg.Fault),
+		}
+		if far == e {
+			pt.in = NewStripeGroup(e, cfg.Width, inCfg)
+			pt.out = NewStripeGroup(e, cfg.Width, outCfg)
+		} else {
+			// Ingress carries node → switch, egress switch → node. The
+			// node's board paces sends on its own shard; deliveries into
+			// sw.forward and the board's receive path cross at barriers.
+			pt.in = NewCrossStripeGroup(g, far, e, cfg.Width, inCfg)
+			pt.out = NewCrossStripeGroup(g, e, far, cfg.Width, outCfg)
 		}
 		in := i
 		pt.in.SetReceiver(func(c Cell, lane int) { sw.forward(in, c, lane) })

@@ -25,12 +25,22 @@ import (
 // directly, preserving the paper's §4 apparatus bit for bit — so Fabric
 // is nil there.
 type Cluster struct {
-	Eng   *sim.Engine
+	// Eng is the single engine of a serial cluster (Options.Shards ≤ 1).
+	// It is nil when the cluster is sharded, so stale direct uses fail
+	// loudly instead of silently reading one shard; sharded-aware code
+	// goes through the dispatch methods (Run, RunUntil, Now, Events, Go,
+	// EngFor) which work at any shard count.
+	Eng *sim.Engine
+	// Group coordinates the engine shards of a sharded cluster
+	// (Options.Shards > 1); nil for the serial inline path.
+	Group *sim.ShardGroup
 	Opt   Options
 	Nodes []*Node
 	// Fabric is the cell switch joining the nodes (nil for the two-node
 	// back-to-back testbed).
 	Fabric *atm.Switch
+	engs   []*sim.Engine // per-node engines (sharded only)
+	plan   ShardPlan
 	nextID int
 }
 
@@ -66,8 +76,12 @@ func NewCluster(opt Options, n int) *Cluster {
 		panic("core: a cluster needs at least 2 nodes")
 	}
 	opt = opt.withDefaults()
+	if opt.Shards > 1 {
+		checkShardable(opt)
+		return buildShardedCluster(opt, n, clusterPlan(opt.Shards, n))
+	}
 	e := sim.NewEngine(opt.Seed)
-	cl := &Cluster{Eng: e, Opt: opt}
+	cl := &Cluster{Eng: e, Opt: opt, plan: ShardPlan{Shards: 1, FabricShard: 0, NodeShard: make([]int, n)}}
 	width := opt.Board.StripeWidth
 	if width == 0 {
 		width = atm.StripeWidth
@@ -97,8 +111,15 @@ func (cl *Cluster) allocVCI() atm.VCI {
 // Node returns node i.
 func (cl *Cluster) Node(i int) *Node { return cl.Nodes[i] }
 
-// Shutdown tears the simulation down.
-func (cl *Cluster) Shutdown() { cl.Eng.Shutdown() }
+// Shutdown tears the simulation down — every shard's procs and, for a
+// sharded cluster, the group's worker goroutines.
+func (cl *Cluster) Shutdown() {
+	if cl.Group != nil {
+		cl.Group.Shutdown()
+		return
+	}
+	cl.Eng.Shutdown()
+}
 
 // OpenPair opens a unidirectional connection path from node `from` to
 // node `to` for the given protocol: it allocates a fresh VCI, installs
@@ -169,15 +190,19 @@ func (cl *Cluster) RunLatency(from, to int, kind ProtoKind, msgSize, rounds int)
 		freeReply()
 	})
 
+	// The whole measuring apparatus — the experiment proc, the reply
+	// condition, and the reverse receive session rrx — lives on node
+	// `from`, so under sharding it all runs on that node's engine and the
+	// only cross-shard traffic is the cells themselves.
 	var rtts []time.Duration
-	gotReply := sim.NewCond(cl.Eng)
+	gotReply := sim.NewCond(cl.EngFor(from))
 	replied := false
 	rrx.SetHandler(func(p *sim.Proc, m *msg.Message) {
 		replied = true
 		gotReply.Broadcast()
 	})
 	done := false
-	cl.Eng.Go("latency-experiment", func(p *sim.Proc) {
+	cl.Go(from, "latency-experiment", func(p *sim.Proc) {
 		for i := 0; i < rounds+1; i++ {
 			m, free, err := alloc(src.Host.Kernel, msgSize)
 			if err != nil {
@@ -200,7 +225,7 @@ func (cl *Cluster) RunLatency(from, to int, kind ProtoKind, msgSize, rounds int)
 		}
 		done = true
 	})
-	cl.Eng.Run()
+	cl.Run()
 	if !done || len(rtts) == 0 {
 		return 0, fmt.Errorf("core: latency experiment did not complete (%d/%d rounds)", len(rtts), rounds)
 	}
@@ -254,10 +279,10 @@ func (cl *Cluster) RunReceiveThroughput(node, msgSize, count int) (float64, erro
 	})
 	nd.Board.StartFictitious(v, frags, 0, 1)
 	// Generous horizon: the slowest plausible rate is ~20 Mbps.
-	horizon := cl.Eng.Now().Add(time.Duration(count) * (time.Duration(msgSize)*8*50*time.Nanosecond + 10*time.Millisecond))
-	cl.Eng.RunUntil(horizon)
+	horizon := cl.Now().Add(time.Duration(count) * (time.Duration(msgSize)*8*50*time.Nanosecond + 10*time.Millisecond))
+	cl.RunUntil(horizon)
 	nd.Board.StopFictitious()
-	cl.Eng.Run()
+	cl.Run()
 	if received < 2 {
 		return 0, fmt.Errorf("core: receive experiment delivered %d/%d messages", received, count)
 	}

@@ -75,9 +75,11 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 		return nil, fmt.Errorf("core: fan-in needs at least 1 message per client")
 	}
 
+	// The receive handlers below all run on node 0's shard, so perClient
+	// and corrupt are single-shard state even in a sharded cluster.
 	perClient := stats.NewPerNode()
 	corrupt := 0
-	start := cl.Eng.Now()
+	start := cl.Now()
 
 	// One unidirectional path per client: node c+1 → node 0. Each gets
 	// its own VCI and switch route, so the server's board runs one AAL5
@@ -105,12 +107,15 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 		})
 	}
 
-	sendersDone := 0
+	// One done flag per client, not a shared counter: each proc runs on
+	// its own node's shard, and distinct slice elements keep the writes
+	// on distinct memory locations.
+	senderDone := make([]bool, w.Clients)
 	for c := 0; c < w.Clients; c++ {
 		c := c
 		nd := cl.Nodes[c+1]
 		tx := txs[c]
-		cl.Eng.Go(fmt.Sprintf("fanin-client-%d", c), func(p *sim.Proc) {
+		cl.Go(c+1, fmt.Sprintf("fanin-client-%d", c), func(p *sim.Proc) {
 			if w.Stagger > 0 && c > 0 {
 				p.Sleep(time.Duration(c) * w.Stagger)
 			}
@@ -130,7 +135,7 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 					p.Sleep(w.Gap)
 				}
 			}
-			sendersDone++
+			senderDone[c] = true
 		})
 	}
 
@@ -142,8 +147,14 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 		w.Stagger*time.Duration(w.Clients) +
 		w.Gap*time.Duration(w.Messages) +
 		50*time.Millisecond
-	cl.Eng.RunUntil(cl.Eng.Now().Add(horizon))
-	cl.Eng.Run() // drain in-flight cells and deliveries
+	cl.RunUntil(cl.Now().Add(horizon))
+	cl.Run() // drain in-flight cells and deliveries
+	sendersDone := 0
+	for _, d := range senderDone {
+		if d {
+			sendersDone++
+		}
+	}
 	if sendersDone != w.Clients {
 		return nil, fmt.Errorf("core: fan-in incomplete: %d/%d senders finished", sendersDone, w.Clients)
 	}

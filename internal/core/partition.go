@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// ShardPlan maps a topology onto the engines of a sim.ShardGroup.
+//
+// The plan keeps one invariant that makes results independent of the
+// shard count: the switch fabric always occupies shard 0 alone, and
+// every node lands on a shard ≥ 1. Every node↔switch link is therefore
+// a cross-shard link at ANY shard count ≥ 2, so the set of cross-shard
+// channels — and with it the construction-order channel ids that
+// tie-break the canonical event order — is identical whether the nodes
+// spread over one shard or seven. Raising the shard count only changes
+// which engine executes a node's events, never how they are stamped,
+// which is why fig3/table1/fan-in are byte-identical at shards=1/2/4.
+type ShardPlan struct {
+	Shards      int   // engines in the group
+	FabricShard int   // shard running the switch (clusters only)
+	NodeShard   []int // node index → shard
+}
+
+// clusterPlan partitions an n-node switched cluster over up to
+// requested shards: the fabric alone on shard 0, node i on shard
+// 1 + i mod (k-1). requested is clamped to n+1 (more shards than
+// components would leave engines permanently idle). Callers ensure
+// requested ≥ 2.
+func clusterPlan(requested, nodes int) ShardPlan {
+	k := requested
+	if max := nodes + 1; k > max {
+		k = max
+	}
+	p := ShardPlan{Shards: k, FabricShard: 0, NodeShard: make([]int, nodes)}
+	for i := range p.NodeShard {
+		p.NodeShard[i] = 1 + i%(k-1)
+	}
+	return p
+}
+
+// testbedPlan partitions the two-node back-to-back testbed: host A on
+// shard 0, host B on shard 1. There is no fabric, so two shards is
+// always the whole plan; any higher request clamps to 2.
+func testbedPlan() ShardPlan {
+	return ShardPlan{Shards: 2, FabricShard: -1, NodeShard: []int{0, 1}}
+}
+
+// checkShardable refuses configurations whose per-cell randomness is
+// drawn from the shared engine RNG: that stream is consumed in delivery
+// order, which depends on the partition, so no shard layout can
+// reproduce the serial draws. The deterministic fault plane
+// (Link.Fault) is fine — injectors draw from site-derived streams.
+func checkShardable(opt Options) {
+	if opt.Link.DrawsEngineRand() {
+		panic(fmt.Sprintf("core: Shards=%d is incompatible with a link config that draws from the shared engine RNG per cell (LossRate=%v, Skew=%T); run with Shards=1 or express the randomness as a fault injector (Link.Fault)", opt.Shards, opt.Link.LossRate, opt.Link.Skew))
+	}
+}
+
+// Plan reports how the cluster's components were mapped onto shards
+// (Shards == 1 for a serial cluster).
+func (cl *Cluster) Plan() ShardPlan { return cl.plan }
+
+// EngFor returns the engine node i runs on (the single engine for a
+// serial cluster).
+func (cl *Cluster) EngFor(node int) *sim.Engine {
+	if cl.Group == nil {
+		return cl.Eng
+	}
+	return cl.engs[node]
+}
+
+// Go spawns a simulated process on node i's engine. Experiment drivers
+// must place each proc on the shard of the node whose state it touches;
+// cross-node interaction happens only through the links.
+func (cl *Cluster) Go(node int, name string, fn func(p *sim.Proc)) *sim.Proc {
+	return cl.EngFor(node).Go(name, fn)
+}
+
+// Run executes the simulation to quiescence — Engine.Run for a serial
+// cluster, the conservative window loop for a sharded one — and returns
+// the virtual time reached.
+func (cl *Cluster) Run() sim.Time {
+	if cl.Group == nil {
+		return cl.Eng.Run()
+	}
+	return cl.Group.Run()
+}
+
+// RunUntil executes until the virtual clock would pass t.
+func (cl *Cluster) RunUntil(t sim.Time) sim.Time {
+	if cl.Group == nil {
+		return cl.Eng.RunUntil(t)
+	}
+	return cl.Group.RunUntil(t)
+}
+
+// Now returns the current virtual time (the latest shard clock, for a
+// sharded cluster).
+func (cl *Cluster) Now() sim.Time {
+	if cl.Group == nil {
+		return cl.Eng.Now()
+	}
+	return cl.Group.Now()
+}
+
+// Events returns the cumulative executed-event count across the whole
+// simulation — the denominator for events/sec measurements.
+func (cl *Cluster) Events() uint64 {
+	if cl.Group == nil {
+		return cl.Eng.Events()
+	}
+	return cl.Group.Events()
+}
+
+// DerivedSites returns every DeriveRand site name the simulation has
+// derived, sorted — identical across shard counts by construction, and
+// pinned so by the partition-independence regression tests.
+func (cl *Cluster) DerivedSites() []string {
+	if cl.Group == nil {
+		return cl.Eng.DerivedSites()
+	}
+	return cl.Group.DerivedSites()
+}
+
+// buildShardedCluster assembles the n-node switched topology across a
+// shard group according to plan, wiring every node to the fabric with
+// cross-shard stripe groups.
+func buildShardedCluster(opt Options, n int, plan ShardPlan) *Cluster {
+	g := sim.NewShardGroup(opt.Seed, plan.Shards)
+	cl := &Cluster{Group: g, Opt: opt, plan: plan}
+	width := opt.Board.StripeWidth
+	if width == 0 {
+		width = atm.StripeWidth
+	}
+	cl.engs = make([]*sim.Engine, n)
+	for i := 0; i < n; i++ {
+		cl.engs[i] = g.Engine(plan.NodeShard[i])
+		cl.Nodes = append(cl.Nodes, buildNode(cl.engs[i], opt, fmt.Sprintf("n%d", i), proto.HostAddr(i+1)))
+	}
+	cl.Fabric = atm.NewShardedSwitch(g, g.Engine(plan.FabricShard), cl.engs, atm.SwitchConfig{
+		Width:      width,
+		Link:       opt.Link,
+		QueueCells: opt.FabricQueueCells,
+	})
+	for i, nd := range cl.Nodes {
+		pt := cl.Fabric.Port(i)
+		nd.Board.AttachTxLinks(pt.Ingress().Links())
+		nd.Board.AttachRxLinks(pt.Egress())
+	}
+	return cl
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -49,7 +50,18 @@ func (t Time) String() string { return time.Duration(t).String() }
 // on the engine's free list with the generation counter bumped, so
 // operations through a stale handle are detected and ignored.
 type eventNode struct {
-	at           Time
+	at Time
+	// schedAt is the virtual instant the event was scheduled at, and xid
+	// identifies the scheduling source: 0 for events scheduled by this
+	// engine's own activities, a stable cross-shard channel id for events
+	// injected by another shard. Together with seq they form the
+	// canonical execution order (at, schedAt, xid, seq). For a standalone
+	// engine seq is assigned in scheduling order and schedAt is
+	// nondecreasing in it, so the refined order coincides exactly with
+	// the historical (at, seq) order; the extra keys matter only when
+	// shards merge event streams.
+	schedAt      Time
+	xid          uint64
 	seq          uint64
 	cb           func(any)
 	arg          any
@@ -98,6 +110,13 @@ type Engine struct {
 	limit    Time // 0 means no limit
 	tracer   func(t Time, format string, args ...any)
 	running  bool
+	// shard/group identify the engine's place in a ShardGroup (zero /
+	// nil for a standalone engine).
+	shard int
+	group *ShardGroup
+	// sites records every DeriveRand site name, for the collision and
+	// partition-independence regression checks.
+	sites map[string]int
 }
 
 // NewEngine returns an engine with its virtual clock at zero and its
@@ -124,6 +143,13 @@ func (e *Engine) Seed() int64 { return e.seed }
 // injection site leaves every other site's draws — and therefore the
 // rest of the simulation — bit-for-bit unchanged.
 func (e *Engine) DeriveRand(site string) *rand.Rand {
+	if e.sites == nil {
+		e.sites = make(map[string]int)
+	}
+	e.sites[site]++
+	if e.group != nil {
+		e.group.registerSite(site, e.shard)
+	}
 	h := fnv.New64a()
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(e.seed))
@@ -131,6 +157,25 @@ func (e *Engine) DeriveRand(site string) *rand.Rand {
 	h.Write([]byte(site))
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
+
+// DerivedSites returns every site name DeriveRand has been called with
+// on this engine, sorted. The derived stream is a pure function of
+// (seed, site) — never of the engine identity — so a partitioned
+// topology reproduces the serial run's streams exactly as long as the
+// site set is collision-free and partition-independent; this accessor
+// exists for the regression tests that pin both properties.
+func (e *Engine) DerivedSites() []string {
+	out := make([]string, 0, len(e.sites))
+	for s := range e.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shard returns the engine's index within its ShardGroup (0 for a
+// standalone engine).
+func (e *Engine) Shard() int { return e.shard }
 
 // SetTracer installs a trace callback invoked by Tracef. A nil tracer
 // disables tracing.
@@ -148,12 +193,22 @@ func (e *Engine) Tracef(format string, args ...any) {
 	}
 }
 
-// less orders the heap by (at, seq): time first, insertion order among
-// equal times.
+// less orders the heap by the canonical key (at, schedAt, xid, seq):
+// fire time first, then scheduling time, then scheduling source, then
+// per-source insertion order. For a standalone engine every event has
+// xid 0 and seq increases with schedAt, so this is exactly the
+// historical (at, seq) order; the refinement gives cross-shard merges a
+// partition-independent tie-break.
 func (e *Engine) less(i, j int) bool {
 	a, b := e.pq[i], e.pq[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.xid != b.xid {
+		return a.xid < b.xid
 	}
 	return a.seq < b.seq
 }
@@ -226,11 +281,8 @@ func (e *Engine) recycle(n *eventNode) {
 	e.freeList = n
 }
 
-// schedule is the common path behind At/After/AtCall/AfterCall.
-func (e *Engine) schedule(t Time, cb func(any), arg any) Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
-	}
+// newNode takes a node off the free list (or allocates one).
+func (e *Engine) newNode() *eventNode {
 	n := e.freeList
 	if n != nil {
 		e.freeList = n.free
@@ -238,13 +290,61 @@ func (e *Engine) schedule(t Time, cb func(any), arg any) Event {
 	} else {
 		n = &eventNode{gen: 1}
 	}
+	return n
+}
+
+// schedule is the common path behind At/After/AtCall/AfterCall.
+func (e *Engine) schedule(t Time, cb func(any), arg any) Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", t, e.now))
+	}
+	n := e.newNode()
 	e.seq++
 	n.at = t
+	n.schedAt = e.now
+	n.xid = 0
 	n.seq = e.seq
 	n.cb = cb
 	n.arg = arg
 	e.heapPush(n)
 	return Event{n: n, gen: n.gen}
+}
+
+// InjectStamped schedules cb(arg) at instant t carrying an explicit
+// canonical-order stamp (schedAt, xid, seq) instead of this engine's
+// own scheduling stamp. It is the cross-shard delivery primitive: a
+// sending shard computes the stamp its scheduling call would have
+// produced in a serial run, and the receiving shard merges the event
+// into its queue in exactly that position. xid must be a non-zero,
+// topology-stable channel id (0 is reserved for locally scheduled
+// events); seq need only be monotone per xid. The engine's own seq
+// counter is not consumed, so injection leaves local stamps untouched.
+//
+// Call it only from the receiving engine's own event context, or while
+// the engine is not running (the shard barrier).
+func (e *Engine) InjectStamped(t, schedAt Time, xid, seq uint64, cb func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: injecting event at %v, before now %v", t, e.now))
+	}
+	if xid == 0 {
+		panic("sim: InjectStamped needs a non-zero xid")
+	}
+	n := e.newNode()
+	n.at = t
+	n.schedAt = schedAt
+	n.xid = xid
+	n.seq = seq
+	n.cb = cb
+	n.arg = arg
+	e.heapPush(n)
+}
+
+// NextEventTime reports the fire time of the earliest queued event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
 }
 
 // callFunc adapts the closure scheduling forms to the callback+argument
@@ -352,14 +452,35 @@ func (e *Engine) RunFor(d time.Duration) Time {
 // RunUntil runs the simulation until the virtual clock would pass t;
 // events scheduled after t remain queued and the clock is advanced to t.
 func (e *Engine) RunUntil(t Time) Time {
-	prev := e.limit
-	e.limit = t
-	e.Run()
-	e.limit = prev
+	e.runTo(t)
 	if e.now < t {
 		e.now = t
 	}
 	return e.now
+}
+
+// runTo executes events with at ≤ t but, unlike RunUntil, leaves the
+// clock at the last executed event rather than advancing it to t. The
+// shard scheduler uses it for lookahead windows: an idle shard's clock
+// must not jump to the window edge, or a later-injected event could
+// land in its apparent past.
+func (e *Engine) runTo(t Time) {
+	prev := e.limit
+	e.limit = t
+	e.Run()
+	e.limit = prev
+}
+
+// advanceTo moves an idle engine's clock forward to t (a no-op if the
+// clock is already past t). The shard scheduler applies the RunUntil
+// clock-advance contract group-wide with it once all windows are done.
+func (e *Engine) advanceTo(t Time) {
+	if e.running {
+		panic("sim: advanceTo during Run")
+	}
+	if e.now < t {
+		e.now = t
+	}
 }
 
 // Pending reports the number of events in the queue.
