@@ -68,7 +68,7 @@ func main() {
 			*flagAll = true
 		}
 	}
-	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagParBench || *flagShardBench) {
+	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagParBench || *flagShardBench || *flagMetrics) {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var (
+	flagMetrics    = flag.Bool("metrics", false, "run instrumented experiments and write the canonical telemetry snapshot (-metricsout)")
+	flagMetricsOut = flag.String("metricsout", "BENCH_metrics.json", "output path for the telemetry snapshot JSON")
+)
+
+func init() { extraSections = append(extraSections, runMetricsBench) }
+
+// metricsExperiment is one instrumented run's canonical snapshot. Only
+// simulated-behaviour metrics appear (diagnostics are excluded), so the
+// whole document is byte-identical per seed at any -shards/-workers
+// count — CI diffs it across both.
+type metricsExperiment struct {
+	Name    string          `json:"name"`
+	Metrics []metrics.Value `json:"metrics"`
+}
+
+// metricsReport is the BENCH_metrics.json schema. Deliberately no
+// reportHeader: the artifact is byte-compared run to run, and the
+// header's timestamp would break the diff (same rule as
+// BENCH_faults.json).
+type metricsReport struct {
+	Schema      string              `json:"schema"`
+	Experiments []metricsExperiment `json:"experiments"`
+}
+
+// metricsFanIn instruments the paced 4×8 KB fan-in of -simbench: every
+// board, driver, RDP, and fabric port registers its families, plus the
+// end-to-end delivery-latency sketch. The paced regime keeps a real
+// congestion signature (server-port queue drops, FIFO sheds) while most
+// messages deliver, so the snapshot exercises every metric kind.
+func metricsFanIn() metricsExperiment {
+	const clients, msgSize, count = 4, 8192, 25
+	reg := metrics.New()
+	cl := core.NewCluster(core.Options{Shards: *flagShards, Metrics: reg}, clients+1)
+	defer cl.Shutdown()
+	res, err := cl.RunFanIn(workload.FanIn{
+		Clients: clients, MessageBytes: msgSize, Messages: count,
+		Gap:     2 * time.Millisecond,
+		Stagger: 500 * time.Microsecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics fanin: %v\n", err)
+		os.Exit(1)
+	}
+	// Print the canonical count, not reg.Len(): diagnostic entries vary
+	// with the shard count and stdout is diffed across it too.
+	snap := reg.Snapshot(false)
+	fmt.Printf("fanin_4x8k: delivered %d/%d, %d canonical metrics\n",
+		res.Delivered, res.Sent, len(snap))
+	return metricsExperiment{Name: "fanin_4x8k", Metrics: snap}
+}
+
+// metricsFig3 instruments the Figure 3 receive path (DEC 3000/600,
+// double-cell DMA, 64 KB messages): the board's FIFO/reassembly
+// families under the link-limited workload the paper centers on.
+func metricsFig3() metricsExperiment {
+	reg := metrics.New()
+	opt := alOptions()
+	opt.Board = board.Config{RxDMA: board.DoubleCell}
+	opt.Metrics = reg
+	tb := core.NewTestbed(opt)
+	defer tb.Shutdown()
+	const msgSize, count = 65536, 16
+	mbps, err := tb.RunReceiveThroughput(msgSize, count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metrics fig3: %v\n", err)
+		os.Exit(1)
+	}
+	snap := reg.Snapshot(false)
+	fmt.Printf("fig3_receive_64k: %.1f Mbps, %d canonical metrics\n", mbps, len(snap))
+	return metricsExperiment{Name: "fig3_receive_64k", Metrics: snap}
+}
+
+// headline renders the metrics whose name matches one of the prefixes —
+// the table EXPERIMENTS.md quotes.
+func headline(exp metricsExperiment, prefixes ...string) string {
+	tab := stats.Table{Cols: []string{"metric", "kind", "value"}}
+	for _, v := range exp.Metrics {
+		keep := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(v.Name, p) {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		val := fmt.Sprint(v.Value)
+		if v.Kind == "quantile" {
+			parts := make([]string, 0, len(v.Quantiles))
+			for _, q := range v.Quantiles {
+				parts = append(parts, fmt.Sprintf("p%02.0f=%.1f", q.Q*100, q.V))
+			}
+			val = fmt.Sprintf("n=%d %s", v.Count, strings.Join(parts, " "))
+		}
+		tab.AddRow(v.Name, v.Kind, val)
+	}
+	return tab.Render()
+}
+
+func runMetricsBench() {
+	if !*flagMetrics {
+		return
+	}
+	fmt.Println("== Telemetry snapshots (canonical, seed-stable) ==")
+	report := metricsReport{
+		Schema:      "osiris-metrics/1",
+		Experiments: []metricsExperiment{metricsFanIn(), metricsFig3()},
+	}
+	fmt.Println(headline(report.Experiments[0], "fabric/port0/", "fanin/", "n0/board/rx_fifo"))
+	writeReport("metrics", *flagMetricsOut, report)
+}

@@ -9,6 +9,7 @@
 //	osiris-sim -mode rx -machine 3000 -dma double -checksum
 //	osiris-sim -mode tx -machine 3000 -size 65536
 //	osiris-sim -mode latency -skew 10us -strategy four-aal5
+//	osiris-sim -mode rx -trace rx.trace.json   # then load in Perfetto
 package main
 
 import (
@@ -27,21 +28,22 @@ import (
 )
 
 var (
-	flagMode     = flag.String("mode", "latency", "experiment: latency | rx | tx")
-	flagMachine  = flag.String("machine", "5000", "host model: 5000 (DECstation 5000/200) | 3000 (DEC 3000/600)")
-	flagProto    = flag.String("proto", "udp", "protocol for latency mode: atm | udp")
-	flagSize     = flag.Int("size", 4096, "message size in bytes")
-	flagCount    = flag.Int("count", 8, "messages (throughput) or rounds (latency)")
-	flagDMA      = flag.String("dma", "single", "receive DMA mode: single | double")
-	flagTxPolicy = flag.String("txdma", "boundary-stop", "transmit DMA policy: boundary-stop | fixed-cell | arbitrary")
-	flagCache    = flag.String("cache", "", "cache policy: lazy | eager | none (default lazy on 5000, none on 3000)")
-	flagChecksum = flag.Bool("checksum", false, "enable the UDP data checksum")
-	flagMTU      = flag.Int("mtu", 16*1024, "IP MTU")
-	flagSkew     = flag.Duration("skew", 0, "max per-cell queueing skew across links (e.g. 10us)")
-	flagStrategy = flag.String("strategy", "four-aal5", "reassembly strategy: four-aal5 | seqnum | arrival-order")
-	flagSeed     = flag.Int64("seed", 1, "simulation seed")
-	flagTrace    = flag.String("trace", "", "record trace events (comma-separated categories: cell,pdu,irq,drop,proto,drv; 'all' for everything)")
-	flagTraceN   = flag.Int("trace-limit", 200, "max trace events to print (most recent)")
+	flagMode      = flag.String("mode", "latency", "experiment: latency | rx | tx")
+	flagMachine   = flag.String("machine", "5000", "host model: 5000 (DECstation 5000/200) | 3000 (DEC 3000/600)")
+	flagProto     = flag.String("proto", "udp", "protocol for latency mode: atm | udp")
+	flagSize      = flag.Int("size", 4096, "message size in bytes")
+	flagCount     = flag.Int("count", 8, "messages (throughput) or rounds (latency)")
+	flagDMA       = flag.String("dma", "single", "receive DMA mode: single | double")
+	flagTxPolicy  = flag.String("txdma", "boundary-stop", "transmit DMA policy: boundary-stop | fixed-cell | arbitrary")
+	flagCache     = flag.String("cache", "", "cache policy: lazy | eager | none (default lazy on 5000, none on 3000)")
+	flagChecksum  = flag.Bool("checksum", false, "enable the UDP data checksum")
+	flagMTU       = flag.Int("mtu", 16*1024, "IP MTU")
+	flagSkew      = flag.Duration("skew", 0, "max per-cell queueing skew across links (e.g. 10us)")
+	flagStrategy  = flag.String("strategy", "four-aal5", "reassembly strategy: four-aal5 | seqnum | arrival-order")
+	flagSeed      = flag.Int64("seed", 1, "simulation seed")
+	flagTrace     = flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+	flagTraceCats = flag.String("tracecats", "", "print textual trace events (comma-separated categories: cell,pdu,irq,drop,proto,drv; 'all' for everything)")
+	flagTraceN    = flag.Int("trace-limit", 200, "max textual trace events to print (most recent)")
 )
 
 func main() {
@@ -53,12 +55,16 @@ func main() {
 	}
 
 	arm := func(tb *core.Testbed) *core.Testbed {
-		if *flagTrace != "" {
+		if *flagTraceCats != "" {
 			currentRecorder = trace.NewRecorder(*flagTraceN)
-			if *flagTrace != "all" {
-				currentRecorder.Filter(strings.Split(*flagTrace, ",")...)
+			if *flagTraceCats != "all" {
+				currentRecorder.Filter(strings.Split(*flagTraceCats, ",")...)
 			}
 			tb.Eng.SetTracer(currentRecorder.Hook())
+		}
+		if *flagTrace != "" {
+			currentTimeline = trace.NewTimeline()
+			currentTimeline.Attach(tb.Eng, "testbed")
 		}
 		return tb
 	}
@@ -96,8 +102,11 @@ func main() {
 	}
 }
 
-// currentRecorder holds the armed trace recorder, if any.
+// currentRecorder holds the armed textual trace recorder, if any.
 var currentRecorder *trace.Recorder
+
+// currentTimeline holds the armed typed-event timeline, if any.
+var currentTimeline *trace.Timeline
 
 func fail(err error) {
 	if err != nil {
@@ -171,6 +180,13 @@ func report(tb *core.Testbed) {
 	if rec := currentRecorder; rec != nil {
 		fmt.Printf("\n--- trace (last %d events; %d categories) ---\n", rec.Len(), len(rec.Counts()))
 		rec.Dump(os.Stdout)
+	}
+	if tl := currentTimeline; tl != nil {
+		f, err := os.Create(*flagTrace)
+		fail(err)
+		fail(tl.WriteChrome(f))
+		fail(f.Close())
+		fmt.Printf("wrote %d trace events to %s\n", tl.Len(), *flagTrace)
 	}
 	fmt.Printf("\n--- breakdown (virtual time %v) ---\n", time.Duration(tb.Eng.Now()))
 	for _, n := range []struct {

@@ -14,19 +14,39 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
+// -metrics attaches a telemetry registry to each regime's cluster and
+// writes both canonical snapshots to the given file. Stdout is
+// byte-identical with or without it — CI diffs the two — which pins the
+// tentpole invariant: observing the system must not change what it does.
+var flagMetrics = flag.String("metrics", "", "write both regimes' canonical telemetry snapshots to this JSON file")
+
+func registry() *metrics.Registry {
+	if *flagMetrics == "" {
+		return nil
+	}
+	return metrics.New()
+}
+
 func main() {
+	flag.Parse()
 	w := workload.DefaultFanIn()
 
 	// Paced regime: lossless fan-in under the server's receive ceiling.
-	cl := core.NewCluster(core.Options{}, w.Clients+1)
+	// Each regime gets its own registry (metric names are per-topology).
+	pacedReg := registry()
+	cl := core.NewCluster(core.Options{Metrics: pacedReg}, w.Clients+1)
 	res, err := cl.RunFanIn(w)
 	if err != nil {
 		log.Fatal(err)
@@ -52,18 +72,65 @@ func main() {
 	}
 
 	// Overload regime: incast collapse at the switch's output port.
-	over, err := core.RunFanIn(core.Options{}, w.Clients, w.MessageBytes, w.Messages)
+	overReg := registry()
+	over, err := core.RunFanIn(core.Options{Metrics: overReg}, w.Clients, w.MessageBytes, w.Messages)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("overload (no pacing: %d × 622 Mbps into one 622 Mbps port)\n", w.Clients)
 	fmt.Printf("  delivered: %d/%d messages, goodput %.1f Mbps\n", over.Delivered, over.Sent, over.AggregateMbps)
 	fmt.Printf("  switch cells: %d forwarded, %d dropped at the output queue\n", over.SwitchForwarded, over.SwitchDropped)
-	fmt.Printf("  corrupt deliveries: %d (loss surfaces as missing PDUs, never damaged ones)\n", over.Corrupt)
+	fmt.Printf("  corrupt deliveries: %d (loss surfaces as missing PDUs, never damaged ones)\n\n", over.Corrupt)
+
+	// Per-port fabric counters: the incast signature is that port 0 (the
+	// server's egress) takes every drop and the queue high-water pegs at
+	// capacity, while the client ports stay clean.
+	ptab := stats.Table{
+		Title: "per-port fabric counters (overload)",
+		Cols:  []string{"port", "role", "cells in", "forwarded", "dropped", "queue high-water"},
+	}
+	for _, p := range over.Ports {
+		role := "server"
+		if p.Port > 0 {
+			role = fmt.Sprintf("client %d", p.Port-1)
+		}
+		ptab.AddRow(fmt.Sprintf("%d", p.Port), role,
+			fmt.Sprintf("%d", p.In), fmt.Sprintf("%d", p.Forwarded),
+			fmt.Sprintf("%d", p.Dropped), fmt.Sprintf("%d", p.HighWater))
+	}
+	fmt.Print(ptab.Render())
 	if over.SwitchDropped == 0 {
 		log.Fatal("overload recorded no switch drops")
 	}
 	if over.Corrupt != 0 {
 		log.Fatal("overload corrupted a delivery")
+	}
+
+	if *flagMetrics != "" {
+		doc := struct {
+			Schema      string `json:"schema"`
+			Experiments []struct {
+				Name    string          `json:"name"`
+				Metrics []metrics.Value `json:"metrics"`
+			} `json:"experiments"`
+		}{Schema: "fanin-metrics/1"}
+		for _, e := range []struct {
+			name string
+			reg  *metrics.Registry
+		}{{"paced", pacedReg}, {"overload", overReg}} {
+			doc.Experiments = append(doc.Experiments, struct {
+				Name    string          `json:"name"`
+				Metrics []metrics.Value `json:"metrics"`
+			}{Name: e.name, Metrics: e.reg.Snapshot(false)})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*flagMetrics, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		// Stderr, not stdout: stdout must diff clean against a -metrics-less run.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *flagMetrics)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -53,10 +54,14 @@ type SwitchPortStats struct {
 	HighWater int64 // maximum egress-queue occupancy observed (cells)
 }
 
-// laneCell is a queued cell tagged with its stripe lane.
+// laneCell is a queued cell tagged with its stripe lane. enq is the
+// enqueue instant, stamped only while the port's queue-delay sketch is
+// live (telemetry must not change struct traffic when disabled — the
+// extra field itself is inert).
 type laneCell struct {
 	c    Cell
 	lane int
+	enq  sim.Time
 }
 
 // SwitchPort is one bidirectional port of a Switch: an ingress stripe
@@ -64,11 +69,17 @@ type laneCell struct {
 // receives on, and a bounded FIFO cell queue feeding the egress lanes.
 type SwitchPort struct {
 	index int
+	eng   *sim.Engine
+	comp  string // trace track label, precomputed (Emit stays alloc-free)
 	in    *StripeGroup
 	out   *StripeGroup
 	queue *sim.Chan[laneCell]
 	stats SwitchPortStats
 	inj   *fault.Injector // output-side injector (nil when off)
+
+	// mQDelay is the egress queueing-delay sketch (µs), nil unless
+	// RegisterMetrics installed one.
+	mQDelay *metrics.Sketch
 }
 
 // Index returns the port number.
@@ -103,6 +114,12 @@ func (pt *SwitchPort) QueueLen() int { return pt.queue.Len() }
 func (pt *SwitchPort) drain(p *sim.Proc) {
 	for {
 		lc := pt.queue.Recv(p)
+		if pt.mQDelay != nil {
+			pt.mQDelay.Observe((pt.eng.Now() - lc.enq).Microseconds())
+		}
+		if pt.eng.Recording() {
+			pt.eng.Emit(sim.TraceEvent{At: pt.eng.Now(), Ph: 'C', Comp: pt.comp, Cat: "q", Name: "queue", Arg: int64(pt.queue.Len())})
+		}
 		pt.out.Link(lc.lane).Send(p, lc.c)
 		pt.stats.Forwarded++
 	}
@@ -175,6 +192,8 @@ func newSwitch(g *sim.ShardGroup, e *sim.Engine, nodeEng []*sim.Engine, nports i
 		}
 		pt := &SwitchPort{
 			index: i,
+			eng:   e,
+			comp:  fmt.Sprintf("sw-port%d", i),
 			queue: sim.NewChan[laneCell](e, cfg.QueueCells),
 			inj:   fault.New(e, fmt.Sprintf("sw/port%d", i), cfg.Fault),
 		}
@@ -273,15 +292,24 @@ func (sw *Switch) forward(inPort int, c Cell, lane int) {
 // context, TrySend discipline), maintaining the drop and occupancy
 // high-water counters.
 func (sw *Switch) enqueue(op *SwitchPort, lc laneCell) {
+	if op.mQDelay != nil {
+		lc.enq = sw.eng.Now()
+	}
 	if !op.queue.TrySend(lc) {
 		op.stats.Dropped++
 		if sw.eng.Tracing() {
 			sw.eng.Tracef("drop: switch port %d queue overflow vci=%d", op.index, lc.c.VCI)
 		}
+		if sw.eng.Recording() {
+			sw.eng.Emit(sim.TraceEvent{At: sw.eng.Now(), Ph: 'i', Comp: op.comp, Cat: "drop", Name: "queue-overflow", Arg: int64(lc.c.VCI)})
+		}
 		return
 	}
 	if n := int64(op.queue.Len()); n > op.stats.HighWater {
 		op.stats.HighWater = n
+	}
+	if sw.eng.Recording() {
+		sw.eng.Emit(sim.TraceEvent{At: sw.eng.Now(), Ph: 'C', Comp: op.comp, Cat: "q", Name: "queue", Arg: int64(op.queue.Len())})
 	}
 }
 
@@ -311,6 +339,28 @@ func (sw *Switch) Stats() SwitchStats {
 		}
 	}
 	return s
+}
+
+// RegisterMetrics registers the switch's telemetry under prefix: per
+// port, the input/route/forward/drop counters and queue high-water as
+// snapshot-time samples of the existing stats (zero hot-path cost),
+// plus a live egress queueing-delay sketch (µs, p50/p90/p99). All are
+// pure functions of simulated behaviour, hence canonical. Call before
+// the run starts; a nil registry is a no-op.
+func (sw *Switch) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	for _, pt := range sw.ports {
+		pt := pt
+		p := fmt.Sprintf("%s/port%d", prefix, pt.index)
+		r.Sample(p+"/in", metrics.KindCounter, func() int64 { return pt.stats.In })
+		r.Sample(p+"/no_route", metrics.KindCounter, func() int64 { return pt.stats.NoRoute })
+		r.Sample(p+"/forwarded", metrics.KindCounter, func() int64 { return pt.stats.Forwarded })
+		r.Sample(p+"/dropped", metrics.KindCounter, func() int64 { return pt.stats.Dropped })
+		r.Sample(p+"/queue_high_water", metrics.KindHighWater, func() int64 { return pt.stats.HighWater })
+		pt.mQDelay = r.Quantiles(p+"/queue_delay_us", 0.5, 0.9, 0.99)
+	}
 }
 
 // FaultStats sums the per-port injector counters (zero when fault

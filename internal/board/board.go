@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hostsim"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/sim"
 )
@@ -310,6 +311,18 @@ type Board struct {
 	reasmTimer sim.Event       // pending ReasmTimeout sweep, if any
 
 	stats Stats
+
+	// Telemetry handles, nil unless RegisterMetrics installed them.
+	// Observation sites nil-check before computing the observed value,
+	// so the disabled plane costs one branch and zero allocations.
+	mRxFIFOHW  *metrics.HighWater
+	mTxFIFOHW  *metrics.HighWater
+	mReasmOpen *metrics.HighWater
+	mReasmSpan *metrics.Sketch
+
+	// Trace track labels, precomputed so Emit never concatenates.
+	trkRx string
+	trkTx string
 }
 
 // getSegs takes a recycled extent slice (or makes one).
@@ -365,6 +378,8 @@ func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
 		vciMap: make(map[atm.VCI]*Channel),
 		rxFIFO: sim.NewChan[rxCell](e, cfg.RxFIFOCells),
 		irq:    h.Int.Assert,
+		trkRx:  cfg.Name + "-rx",
+		trkTx:  cfg.Name + "-tx",
 	}
 	b.rxInj = fault.New(e, cfg.Name+"/rx", cfg.RxFault)
 	for i := 0; i < NumChannels; i++ {
@@ -409,6 +424,39 @@ func (b *Board) Host() *hostsim.Host { return b.host }
 // Stats returns a copy of the counters.
 func (b *Board) Stats() Stats { return b.stats }
 
+// RegisterMetrics registers the board's telemetry under prefix. The
+// Stats counters become snapshot-time samples (zero hot-path cost);
+// the FIFO occupancy high-waters, open-reassembly high-water, and the
+// per-PDU reassembly-span sketch (µs from first to last cell of a
+// completed PDU) are live handles observed on the hot paths, each
+// nil-guarded so the disabled plane costs one branch. Call before the
+// run starts; a nil registry is a no-op.
+func (b *Board) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	s := &b.stats
+	r.Sample(prefix+"/cells_tx", metrics.KindCounter, func() int64 { return s.CellsTx })
+	r.Sample(prefix+"/cells_rx", metrics.KindCounter, func() int64 { return s.CellsRx })
+	r.Sample(prefix+"/pdus_tx", metrics.KindCounter, func() int64 { return s.PDUsTx })
+	r.Sample(prefix+"/pdus_rx", metrics.KindCounter, func() int64 { return s.PDUsRx })
+	r.Sample(prefix+"/pdus_dropped", metrics.KindCounter, func() int64 { return s.PDUsDropped })
+	r.Sample(prefix+"/rx_fifo_dropped", metrics.KindCounter, func() int64 { return s.CellsDroppedFIFO })
+	r.Sample(prefix+"/cells_no_vci", metrics.KindCounter, func() int64 { return s.CellsNoVCI })
+	r.Sample(prefix+"/rx_irqs", metrics.KindCounter, func() int64 { return s.RxIRQs })
+	r.Sample(prefix+"/tx_irqs", metrics.KindCounter, func() int64 { return s.TxIRQs })
+	r.Sample(prefix+"/pdus_timed_out", metrics.KindCounter, func() int64 { return s.PDUsTimedOut })
+	r.Sample(prefix+"/pdus_crc_dropped", metrics.KindCounter, func() int64 { return s.PDUsCRCDropped })
+	r.Sample(prefix+"/cells_duplicate", metrics.KindCounter, func() int64 { return s.CellsDuplicate })
+	r.Sample(prefix+"/rx_abort_markers", metrics.KindCounter, func() int64 { return s.RxAbortMarkers })
+	r.Sample(prefix+"/reasm_open", metrics.KindGauge, func() int64 { return int64(b.OpenReassemblies()) })
+	r.Sample(prefix+"/reasm_held_bufs", metrics.KindGauge, func() int64 { return int64(b.HeldReasmBufs()) })
+	b.mRxFIFOHW = r.HighWater(prefix + "/rx_fifo_high_water")
+	b.mTxFIFOHW = r.HighWater(prefix + "/tx_fifo_high_water")
+	b.mReasmOpen = r.HighWater(prefix + "/reasm_open_high_water")
+	b.mReasmSpan = r.Quantiles(prefix+"/reasm_span_us", 0.5, 0.9, 0.99)
+}
+
 // ResetStats zeroes the counters.
 func (b *Board) ResetStats() { b.stats = Stats{} }
 
@@ -445,6 +493,9 @@ func (b *Board) InjectCell(c atm.Cell, link int) bool {
 	if !b.rxFIFO.TrySend(rxCell{c: c, link: link}) {
 		b.stats.CellsDroppedFIFO++
 		return false
+	}
+	if b.mRxFIFOHW != nil {
+		b.mRxFIFOHW.Observe(int64(b.rxFIFO.Len()))
 	}
 	return true
 }
@@ -498,6 +549,16 @@ func (b *Board) enterRxFIFO(rc rxCell) {
 		if b.eng.Tracing() {
 			b.eng.Tracef("drop: %s rx FIFO overflow vci=%d", b.cfg.Name, rc.c.VCI)
 		}
+		if b.eng.Recording() {
+			b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "drop", Name: "rx-fifo-overflow", Arg: int64(rc.c.VCI)})
+		}
+		return
+	}
+	if b.mRxFIFOHW != nil {
+		b.mRxFIFOHW.Observe(int64(b.rxFIFO.Len()))
+	}
+	if b.eng.Recording() {
+		b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'C', Comp: b.trkRx, Cat: "q", Name: "rx-fifo", Arg: int64(b.rxFIFO.Len())})
 	}
 }
 
@@ -656,6 +717,9 @@ func (b *Board) timeoutReasm(ch *Channel, rs *reasmState) bool {
 	if b.eng.Tracing() {
 		b.eng.Tracef("drop: %s reassembly timeout vci=%d received=%d", b.cfg.Name, rs.vci, rs.received)
 	}
+	if b.eng.Recording() {
+		b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "drop", Name: "reasm-timeout", Arg: int64(rs.vci)})
+	}
 	delete(ch.reasm, rs.vci)
 	b.releaseShadow(rs)
 	return true
@@ -728,6 +792,9 @@ func (b *Board) pushRecvDesc(p *sim.Proc, ch *Channel, d queue.Desc) {
 		b.stats.RxIRQs++
 		if b.eng.Tracing() {
 			b.eng.Tracef("irq: %s rx ch%d", b.cfg.Name, ch.Index)
+		}
+		if b.eng.Recording() {
+			b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "irq", Name: "rx-irq", Arg: int64(ch.Index)})
 		}
 		b.irq(RxIRQBase + ch.Index)
 	}

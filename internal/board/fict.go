@@ -69,6 +69,12 @@ func (b *Board) fictProc(p *sim.Proc) {
 				cells := atm.Segment(req.vci, pdu, b.cfg.StripeWidth, b.cfg.Strategy.UsesSeqNumbers())
 				for i := range cells {
 					b.rxFIFO.Send(p, rxCell{c: cells[i], link: i % b.cfg.StripeWidth})
+					if b.mRxFIFOHW != nil {
+						b.mRxFIFOHW.Observe(int64(b.rxFIFO.Len()))
+					}
+					if b.eng.Recording() {
+						b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'C', Comp: b.trkRx, Cat: "q", Name: "rx-fifo", Arg: int64(b.rxFIFO.Len())})
+					}
 					if interval > 0 {
 						p.Sleep(interval)
 					}

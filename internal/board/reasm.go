@@ -36,10 +36,11 @@ type reasmState struct {
 	lastSeen   bool
 	maxWritten int // highest stream offset any cell has reached
 
-	lastArrival sim.Time // last cell arrival; drives Config.ReasmTimeout
-	crcWant     uint32   // AAL5 trailer CRC, valid once lastSeen
-	shadow      []byte   // firmware copy of PDU bytes (Config.CheckCRC)
-	seenSeq     []uint64 // SeqNum duplicate bitmap (Config.RejectDuplicates)
+	firstArrival sim.Time // first cell arrival; telemetry's reassembly span
+	lastArrival  sim.Time // last cell arrival; drives Config.ReasmTimeout
+	crcWant      uint32   // AAL5 trailer CRC, valid once lastSeen
+	shadow       []byte   // firmware copy of PDU bytes (Config.CheckCRC)
+	seenSeq      []uint64 // SeqNum duplicate bitmap (Config.RejectDuplicates)
 }
 
 func newReasmState(ch *Channel, vci atm.VCI, width int) *reasmState {

@@ -45,7 +45,11 @@ func (b *Board) getReasm(ch *Channel, vci atm.VCI) *reasmState {
 	rs := ch.reasm[vci]
 	if rs == nil {
 		rs = newReasmState(ch, vci, b.cfg.StripeWidth)
+		rs.firstArrival = b.eng.Now()
 		ch.reasm[vci] = rs
+		if b.mReasmOpen != nil {
+			b.mReasmOpen.Observe(int64(b.OpenReassemblies()))
+		}
 	}
 	return rs
 }
@@ -199,6 +203,12 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		b.stats.ScratchRecycled += int64(len(scratch))
 		cmd.pushes = pushes
 		b.stats.PDUsRx++
+		if b.mReasmSpan != nil {
+			b.mReasmSpan.Observe((b.eng.Now() - rs.firstArrival).Microseconds())
+		}
+		if b.eng.Recording() {
+			b.eng.Emit(sim.TraceEvent{At: rs.firstArrival, Dur: b.eng.Now() - rs.firstArrival, Ph: 'X', Comp: b.trkRx, Cat: "pdu", Name: "reasm", Arg: int64(rs.pduLen)})
+		}
 		delete(ch.reasm, rc.c.VCI)
 		b.releaseShadow(rs)
 	} else {

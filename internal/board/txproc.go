@@ -269,6 +269,9 @@ func (b *Board) finishPDU(ch *Channel) {
 
 func (b *Board) txSubmit(p *sim.Proc, cmd txCmd) {
 	b.txCmds.Send(p, cmd)
+	if b.mTxFIFOHW != nil {
+		b.mTxFIFOHW.Observe(int64(b.txCmds.Len()))
+	}
 }
 
 // txDMAEngine is the transmit DMA controller plus cell generator: it

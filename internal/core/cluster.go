@@ -62,6 +62,11 @@ func buildNode(e *sim.Engine, opt Options, name string, addr proto.HostAddr) *No
 	n.Graph.Register(n.UDP)
 	n.Graph.Register(n.RDP)
 	n.Graph.Register(n.Raw)
+	if opt.Metrics != nil {
+		b.RegisterMetrics(opt.Metrics, name+"/board")
+		d.RegisterMetrics(opt.Metrics, name+"/driver")
+		n.RDP.RegisterMetrics(opt.Metrics, name+"/rdp")
+	}
 	return n
 }
 
@@ -99,6 +104,8 @@ func NewCluster(opt Options, n int) *Cluster {
 		nd.Board.AttachTxLinks(pt.Ingress().Links())
 		nd.Board.AttachRxLinks(pt.Egress())
 	}
+	cl.Fabric.RegisterMetrics(opt.Metrics, "fabric")
+	cl.registerEngineDiag()
 	return cl
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/hostsim"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/proto"
 	"repro/internal/sim"
@@ -83,6 +84,15 @@ type Options struct {
 	// value selects DefaultSeed; pass ZeroSeed to run with a literal
 	// zero seed.
 	Seed int64
+	// Metrics, when non-nil, registers the whole stack's telemetry in
+	// this registry as the topology is built: per-node board, driver,
+	// and RDP families, per-port fabric families, and (as diagnostics)
+	// the engine substrate. A nil registry disables the plane entirely —
+	// every component holds nil handles whose methods are no-ops, so the
+	// hot paths pay one branch and zero allocations. One registry serves
+	// one topology; building two clusters against the same registry
+	// panics on the duplicate names.
+	Metrics *metrics.Registry
 	// Shards partitions the topology over that many engine shards run by
 	// a conservative-parallel scheduler (sim.ShardGroup), with the link
 	// propagation delay as lookahead. 0 or 1 selects the exact serial
@@ -176,6 +186,7 @@ func NewTestbed(opt Options) *Testbed {
 			buildNode(e, opt, "B", 2),
 		}
 	}
+	cl.registerEngineDiag()
 	tb := &Testbed{Cluster: cl, A: cl.Nodes[0], B: cl.Nodes[1]}
 
 	if opt.TxIsolated {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/atm"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,8 +44,19 @@ type FanInResult struct {
 	SwitchDropped   int64
 	SwitchNoRoute   int64
 	SwitchForwarded int64
+	// Ports holds each fabric port's own counters (indexed by port
+	// number; port 0 is the server's). The incast signature lives here:
+	// under overload, port 0's Dropped and HighWater dominate while the
+	// client ports stay clean.
+	Ports []FanInPort
 	// Elapsed is the server's first-to-last delivery window.
 	Elapsed time.Duration
+}
+
+// FanInPort is one fabric port's cell-level view of a fan-in run.
+type FanInPort struct {
+	Port int
+	atm.SwitchPortStats
 }
 
 // RunFanIn drives the incast workload: nodes 1..Clients each push
@@ -81,6 +94,24 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 	corrupt := 0
 	start := cl.Now()
 
+	// End-to-end delivery latency sketch (push → verified delivery, µs),
+	// registered only when the cluster carries a registry. sendAt is
+	// written by each client's proc on its own shard and read by the
+	// server's delivery handler on shard 0; every (client, message) slot
+	// is a distinct location and the write precedes the read through the
+	// cells' own cross-shard channel hops, so the access is ordered at
+	// any shard count and the observed latencies — simulated time minus
+	// simulated time — are shard-invariant.
+	var mLat *metrics.Sketch
+	var sendAt [][]sim.Time
+	if r := cl.Opt.Metrics; r != nil {
+		mLat = r.Quantiles("fanin/delivery_latency_us", 0.5, 0.9, 0.99)
+		sendAt = make([][]sim.Time, w.Clients)
+		for c := range sendAt {
+			sendAt[c] = make([]sim.Time, w.Messages)
+		}
+	}
+
 	// One unidirectional path per client: node c+1 → node 0. Each gets
 	// its own VCI and switch route, so the server's board runs one AAL5
 	// reassembly per client concurrently (§2.6 strategy two).
@@ -98,10 +129,13 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 				corrupt++
 				return
 			}
-			client, _, ok := ww.Verify(data)
+			client, seq, ok := ww.Verify(data)
 			if !ok {
 				corrupt++
 				return
+			}
+			if mLat != nil && client < len(sendAt) && seq < len(sendAt[client]) {
+				mLat.Observe((p.Now() - sendAt[client][seq]).Microseconds())
 			}
 			perClient.Observe(client, len(data), time.Duration(p.Now()-start))
 		})
@@ -120,6 +154,9 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 				p.Sleep(time.Duration(c) * w.Stagger)
 			}
 			for m := 0; m < w.Messages; m++ {
+				if sendAt != nil {
+					sendAt[c][m] = p.Now()
+				}
 				payload := w.Payload(c, m)
 				mm, free, err := allocFrom(nd.Host.Kernel, payload)
 				if err != nil {
@@ -177,6 +214,9 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 	res.SwitchDropped = ss.Dropped
 	res.SwitchNoRoute = ss.NoRoute
 	res.SwitchForwarded = ss.Forwarded
+	for i := 0; i < cl.Fabric.NumPorts(); i++ {
+		res.Ports = append(res.Ports, FanInPort{Port: i, SwitchPortStats: cl.Fabric.Port(i).Stats()})
+	}
 	return res, nil
 }
 

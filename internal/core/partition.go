@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -151,5 +152,34 @@ func buildShardedCluster(opt Options, n int, plan ShardPlan) *Cluster {
 		nd.Board.AttachTxLinks(pt.Ingress().Links())
 		nd.Board.AttachRxLinks(pt.Egress())
 	}
+	cl.Fabric.RegisterMetrics(opt.Metrics, "fabric")
+	cl.registerEngineDiag()
 	return cl
+}
+
+// registerEngineDiag registers the execution substrate's telemetry.
+// Every metric here is diagnostic (SampleDiag): event counts depend on
+// how the topology is partitioned, and the shard group's stall time is
+// wall clock — none of it may appear in a canonical snapshot, which
+// must be byte-identical at any shard count.
+func (cl *Cluster) registerEngineDiag() {
+	r := cl.Opt.Metrics
+	if r == nil {
+		return
+	}
+	if cl.Group == nil {
+		e := cl.Eng
+		r.SampleDiag("engine/events", metrics.KindCounter, func() int64 { return int64(e.Events()) })
+		return
+	}
+	g := cl.Group
+	r.SampleDiag("engine/events", metrics.KindCounter, func() int64 { return int64(g.Events()) })
+	r.SampleDiag("engine/windows", metrics.KindCounter, func() int64 { return int64(g.Stats().Windows) })
+	r.SampleDiag("engine/cross_shard_injected", metrics.KindCounter, func() int64 { return int64(g.Stats().Injected) })
+	r.SampleDiag("engine/max_merge_depth", metrics.KindHighWater, func() int64 { return int64(g.Stats().MaxMergeDepth) })
+	r.SampleDiag("engine/barrier_stall_ns", metrics.KindCounter, func() int64 { return g.Stats().BarrierStallNS })
+	for i := 0; i < cl.plan.Shards; i++ {
+		e := g.Engine(i)
+		r.SampleDiag(fmt.Sprintf("engine/shard%d/events", i), metrics.KindCounter, func() int64 { return int64(e.Events()) })
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/dpm"
 	"repro/internal/hostsim"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -328,6 +329,26 @@ func (d *Driver) Space() *mem.AddressSpace { return d.cfg.Space }
 
 // Stats returns a copy of the counters.
 func (d *Driver) Stats() Stats { return d.stats }
+
+// RegisterMetrics registers the driver's counters as snapshot-time
+// samples under prefix — notably tx_reclaim_stalls, the full-ring
+// waits the paper's §2.1.2 flow-control protocol exists to bound. A
+// nil registry is a no-op.
+func (d *Driver) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	s := &d.stats
+	r.Sample(prefix+"/tx_pdus", metrics.KindCounter, func() int64 { return s.TxPDUs })
+	r.Sample(prefix+"/tx_buffers", metrics.KindCounter, func() int64 { return s.TxBuffers })
+	r.Sample(prefix+"/rx_pdus", metrics.KindCounter, func() int64 { return s.RxPDUs })
+	r.Sample(prefix+"/rx_buffers", metrics.KindCounter, func() int64 { return s.RxBuffers })
+	r.Sample(prefix+"/tx_reclaim_stalls", metrics.KindCounter, func() int64 { return s.TxStalls })
+	r.Sample(prefix+"/rx_aborted", metrics.KindCounter, func() int64 { return s.RxAborted })
+	r.Sample(prefix+"/rx_checksum_err", metrics.KindCounter, func() int64 { return s.RxChecksumErr })
+	r.Sample(prefix+"/recoveries", metrics.KindCounter, func() int64 { return s.Recoveries })
+	r.Sample(prefix+"/sg_map_entries", metrics.KindCounter, func() int64 { return s.SGMapEntries })
+}
 
 // ResetStats zeroes the counters.
 func (d *Driver) ResetStats() { d.stats = Stats{} }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/hostsim"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -180,6 +181,24 @@ func NewManager(h *hostsim.Host, maxPaths int) *Manager {
 
 // Stats returns a copy of the counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// RegisterMetrics registers the pool's counters as snapshot-time
+// samples under prefix: the cached-allocation hit/miss split is the
+// §3.3 number that decides whether the fbuf cache is earning its
+// keep. A nil registry is a no-op.
+func (m *Manager) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	s := &m.stats
+	r.Sample(prefix+"/cached_allocs", metrics.KindCounter, func() int64 { return s.CachedAllocs })
+	r.Sample(prefix+"/cached_misses", metrics.KindCounter, func() int64 { return s.CachedMisses })
+	r.Sample(prefix+"/uncached_allocs", metrics.KindCounter, func() int64 { return s.UncachedAllocs })
+	r.Sample(prefix+"/cached_transfers", metrics.KindCounter, func() int64 { return s.CachedTransfers })
+	r.Sample(prefix+"/uncached_transfers", metrics.KindCounter, func() int64 { return s.UncachedTransfers })
+	r.Sample(prefix+"/pages_mapped", metrics.KindCounter, func() int64 { return s.PagesMapped })
+	r.Sample(prefix+"/path_evictions", metrics.KindCounter, func() int64 { return s.PathEvictions })
+}
 
 // CachedPaths returns the number of live per-path pools.
 func (m *Manager) CachedPaths() int { return len(m.pools) }

@@ -1,0 +1,355 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch estimates quantiles of a value stream with the P² algorithm
+// (Jain & Chlamtac, CACM 1985): five markers per target quantile,
+// adjusted with a piecewise-parabolic prediction as observations
+// arrive. State is fixed-size — no samples are retained — and every
+// update is plain float64 arithmetic applied in observation order, so
+// for a deterministic observation sequence the sketch state (and the
+// JSON snapshot derived from it) is bit-identical on every run.
+//
+// All methods are no-ops (or zero) on a nil receiver, so hot paths
+// can observe unconditionally when telemetry may be disabled.
+type Sketch struct {
+	qs    []float64 // target quantiles, ascending, deduped
+	est   []p2      // one estimator per target, parallel to qs
+	count int64
+	min   float64
+	max   float64
+	buf   [5]float64 // first five observations, sorted (init phase)
+}
+
+// NewSketch builds a sketch targeting the given quantiles (each in
+// (0,1)). With no arguments it targets p50/p90/p99.
+func NewSketch(qs ...float64) *Sketch {
+	if len(qs) == 0 {
+		qs = []float64{0.50, 0.90, 0.99}
+	}
+	sorted := append([]float64(nil), qs...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for i, q := range sorted {
+		if q <= 0 || q >= 1 {
+			panic(fmt.Sprintf("metrics: quantile %v outside (0,1)", q))
+		}
+		if i == 0 || q != sorted[i-1] {
+			uniq = append(uniq, q)
+		}
+	}
+	s := &Sketch{qs: uniq, est: make([]p2, len(uniq))}
+	for i := range s.est {
+		s.est[i].q = uniq[i]
+	}
+	return s
+}
+
+// Targets returns the target quantiles (nil on a nil sketch).
+func (s *Sketch) Targets() []float64 {
+	if s == nil {
+		return nil
+	}
+	return s.qs
+}
+
+// Observe feeds one value into the sketch. Allocation-free.
+func (s *Sketch) Observe(x float64) {
+	if s == nil {
+		return
+	}
+	if s.count == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.count++
+	if s.count <= 5 {
+		i := int(s.count) - 1
+		for i > 0 && s.buf[i-1] > x {
+			s.buf[i] = s.buf[i-1]
+			i--
+		}
+		s.buf[i] = x
+		if s.count == 5 {
+			for k := range s.est {
+				s.est[k].init(s.buf)
+			}
+		}
+		return
+	}
+	for k := range s.est {
+		s.est[k].observe(x)
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (s *Sketch) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Min returns the smallest observation (0 before any observation).
+func (s *Sketch) Min() float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 before any observation).
+func (s *Sketch) Max() float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the current estimate for q, which must be one of
+// the sketch's target quantiles. With five or fewer observations the
+// value is exact (interpolated order statistic). Returns 0 when
+// empty or nil.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	if s.count <= 5 {
+		return orderStat(s.buf[:int(s.count)], q)
+	}
+	for i, tq := range s.qs {
+		if tq == q {
+			return s.est[i].h[2]
+		}
+	}
+	panic(fmt.Sprintf("metrics: quantile %v not a sketch target", q))
+}
+
+// orderStat interpolates the q-th order statistic of a small sorted
+// slice.
+func orderStat(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Merge folds o into s. Both sketches must target the same
+// quantiles. The merge is deterministic but order-sensitive
+// (a.Merge(b) and b.Merge(a) may differ in low-order bits), so
+// callers that need canonical results must merge in a canonical
+// order, exactly like the parexp result merge. o is not modified.
+//
+// Initialized estimators combine by piecewise-linear CDF averaging:
+// the union of both marker sets is re-sampled at the ideal marker
+// fractions of the combined stream, and marker positions reset to
+// their ideal values. Empirically this keeps the estimate within the
+// same error band as feeding one sketch the concatenated stream (see
+// sketch_test.go).
+func (s *Sketch) Merge(o *Sketch) {
+	if s == nil || o == nil || o.count == 0 {
+		return
+	}
+	if len(s.qs) != len(o.qs) {
+		panic("metrics: merging sketches with different targets")
+	}
+	for i := range s.qs {
+		if s.qs[i] != o.qs[i] {
+			panic("metrics: merging sketches with different targets")
+		}
+	}
+	if o.count < 5 {
+		for i := 0; i < int(o.count); i++ {
+			s.Observe(o.buf[i])
+		}
+		return
+	}
+	if s.count < 5 {
+		old := s.buf
+		oldn := int(s.count)
+		s.count = o.count
+		s.min, s.max = o.min, o.max
+		s.buf = o.buf
+		copy(s.est, o.est)
+		for i := 0; i < oldn; i++ {
+			s.Observe(old[i])
+		}
+		return
+	}
+	ca, cb := s.count, o.count
+	for k := range s.est {
+		s.est[k] = mergeP2(&s.est[k], ca, &o.est[k], cb)
+	}
+	s.count = ca + cb
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// p2 is a single-quantile P² estimator: five marker heights h at
+// (float) positions n, tracked against desired positions np moving by
+// dn per observation.
+type p2 struct {
+	q  float64
+	h  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+}
+
+func (p *p2) init(sorted [5]float64) {
+	q := p.q
+	p.h = sorted
+	p.n = [5]float64{1, 2, 3, 4, 5}
+	p.np = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+func (p *p2) observe(x float64) {
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3 && x >= p.h[k+1]; k++ {
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.np[i] += p.dn[i]
+	}
+	for i := 1; i <= 3; i++ {
+		d := p.np[i] - p.n[i]
+		if (d >= 1 && p.n[i+1]-p.n[i] > 1) || (d <= -1 && p.n[i-1]-p.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			if hp := p.parabolic(i, sign); p.h[i-1] < hp && hp < p.h[i+1] {
+				p.h[i] = hp
+			} else {
+				p.h[i] = p.linear(i, sign)
+			}
+			p.n[i] += sign
+		}
+	}
+}
+
+func (p *p2) parabolic(i int, d float64) float64 {
+	return p.h[i] + d/(p.n[i+1]-p.n[i-1])*
+		((p.n[i]-p.n[i-1]+d)*(p.h[i+1]-p.h[i])/(p.n[i+1]-p.n[i])+
+			(p.n[i+1]-p.n[i]-d)*(p.h[i]-p.h[i-1])/(p.n[i]-p.n[i-1]))
+}
+
+func (p *p2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.h[i] + d*(p.h[j]-p.h[i])/(p.n[j]-p.n[i])
+}
+
+// cdf evaluates the estimator's piecewise-linear empirical CDF at x,
+// mapping marker i to cumulative fraction (n[i]-1)/(c-1).
+func (p *p2) cdf(c int64, x float64) float64 {
+	if x <= p.h[0] {
+		return 0
+	}
+	if x >= p.h[4] {
+		return 1
+	}
+	for i := 0; i < 4; i++ {
+		if x < p.h[i+1] {
+			den := p.h[i+1] - p.h[i]
+			t := 0.0
+			if den > 0 {
+				t = (x - p.h[i]) / den
+			}
+			r := p.n[i] + t*(p.n[i+1]-p.n[i])
+			return (r - 1) / (float64(c) - 1)
+		}
+	}
+	return 1
+}
+
+// mergeP2 combines two initialized estimators for the same target
+// quantile by count-weighted CDF averaging over the union of their
+// marker heights, then re-samples five markers at the combined
+// stream's ideal fractions.
+func mergeP2(a *p2, ca int64, b *p2, cb int64) p2 {
+	var knots [10]float64
+	copy(knots[0:5], a.h[:])
+	copy(knots[5:10], b.h[:])
+	sort.Float64s(knots[:])
+	wa, wb := float64(ca), float64(cb)
+	var fs [10]float64
+	for i, x := range knots {
+		fs[i] = (wa*a.cdf(ca, x) + wb*b.cdf(cb, x)) / (wa + wb)
+	}
+	q := a.q
+	fr := [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	n := ca + cb
+	var out p2
+	out.q = q
+	for i, f := range fr {
+		out.h[i] = invertCDF(&knots, &fs, f)
+	}
+	for i := 1; i < 5; i++ {
+		if out.h[i] < out.h[i-1] {
+			out.h[i] = out.h[i-1]
+		}
+	}
+	for i, f := range fr {
+		ideal := 1 + f*(float64(n)-1)
+		out.n[i] = math.Round(ideal)
+		out.np[i] = ideal
+	}
+	// Marker positions must stay strictly increasing for the update
+	// rule's divisions; nudge collisions apart (only reachable for
+	// very small combined counts).
+	for i := 1; i < 5; i++ {
+		if out.n[i] <= out.n[i-1] {
+			out.n[i] = out.n[i-1] + 1
+		}
+	}
+	out.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return out
+}
+
+// invertCDF finds x with F(x) = f on the piecewise-linear CDF given
+// by (knots, fs).
+func invertCDF(knots *[10]float64, fs *[10]float64, f float64) float64 {
+	if f <= fs[0] {
+		return knots[0]
+	}
+	for j := 1; j < 10; j++ {
+		if fs[j] >= f {
+			den := fs[j] - fs[j-1]
+			if den <= 0 {
+				return knots[j-1]
+			}
+			t := (f - fs[j-1]) / den
+			return knots[j-1] + t*(knots[j]-knots[j-1])
+		}
+	}
+	return knots[9]
+}

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQ returns the interpolated exact quantile of data (which it
+// sorts in place).
+func exactQ(data []float64, q float64) float64 {
+	sort.Float64s(data)
+	return orderStat(data, q)
+}
+
+func checkAccuracy(t *testing.T, name string, data []float64, relTol map[float64]float64) {
+	t.Helper()
+	qs := make([]float64, 0, len(relTol))
+	for q := range relTol {
+		qs = append(qs, q)
+	}
+	sort.Float64s(qs)
+	s := NewSketch(qs...)
+	for _, x := range data {
+		s.Observe(x)
+	}
+	sorted := append([]float64(nil), data...)
+	for _, q := range qs {
+		got := s.Quantile(q)
+		want := exactQ(sorted, q)
+		scale := math.Abs(want)
+		if scale < 1e-9 {
+			scale = 1
+		}
+		rel := math.Abs(got-want) / scale
+		t.Logf("%s p%g: sketch=%.6g exact=%.6g rel-err=%.4f", name, q*100, got, want, rel)
+		if rel > relTol[q] {
+			t.Errorf("%s p%g: sketch=%.6g exact=%.6g rel-err=%.4f > %.4f",
+				name, q*100, got, want, rel, relTol[q])
+		}
+	}
+}
+
+func TestSketchAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	checkAccuracy(t, "uniform", data, map[float64]float64{
+		0.50: 0.02, 0.90: 0.02, 0.99: 0.02,
+	})
+}
+
+func TestSketchAccuracyHeavyTailed(t *testing.T) {
+	// Pareto with alpha = 1.5: infinite variance, the regime the
+	// ROADMAP's flow-churn generators care about.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 50000)
+	for i := range data {
+		u := rng.Float64()
+		data[i] = math.Pow(1-u, -1/1.5)
+	}
+	checkAccuracy(t, "pareto", data, map[float64]float64{
+		0.50: 0.05, 0.90: 0.10, 0.99: 0.25,
+	})
+}
+
+func TestSketchAccuracyAdversarialSorted(t *testing.T) {
+	n := 20000
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = float64(i + 1)
+		desc[i] = float64(n - i)
+	}
+	tol := map[float64]float64{0.50: 0.05, 0.90: 0.05, 0.99: 0.05}
+	checkAccuracy(t, "ascending", asc, tol)
+	checkAccuracy(t, "descending", desc, tol)
+}
+
+func TestSketchSmallNExact(t *testing.T) {
+	s := NewSketch(0.5, 0.9)
+	for _, x := range []float64{30, 10, 20} {
+		s.Observe(x)
+	}
+	if got := s.Quantile(0.5); got != 20 {
+		t.Errorf("p50 of {10,20,30} = %g, want 20", got)
+	}
+	if s.Min() != 10 || s.Max() != 30 || s.Count() != 3 {
+		t.Errorf("min/max/count = %g/%g/%d", s.Min(), s.Max(), s.Count())
+	}
+}
+
+func TestSketchDeterministicState(t *testing.T) {
+	mk := func() *Sketch {
+		rng := rand.New(rand.NewSource(7))
+		s := NewSketch(0.5, 0.99)
+		for i := 0; i < 10000; i++ {
+			s.Observe(rng.ExpFloat64())
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical observation sequences produced different sketch state")
+	}
+}
+
+func TestSketchMergeDeterministic(t *testing.T) {
+	mkPair := func() (*Sketch, *Sketch) {
+		rng := rand.New(rand.NewSource(11))
+		a := NewSketch(0.5, 0.9, 0.99)
+		b := NewSketch(0.5, 0.9, 0.99)
+		for i := 0; i < 8000; i++ {
+			a.Observe(rng.Float64() * 100)
+		}
+		for i := 0; i < 6000; i++ {
+			b.Observe(rng.ExpFloat64() * 40)
+		}
+		return a, b
+	}
+	a1, b1 := mkPair()
+	a2, b2 := mkPair()
+	a1.Merge(b1)
+	a2.Merge(b2)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same merge inputs produced different merged state")
+	}
+}
+
+func TestSketchMergeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	all := make([]float64, 0, 40000)
+	parts := make([]*Sketch, 4)
+	for p := range parts {
+		parts[p] = NewSketch(0.5, 0.9, 0.99)
+		for i := 0; i < 10000; i++ {
+			x := rng.Float64() * 1000
+			parts[p].Observe(x)
+			all = append(all, x)
+		}
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+	if merged.Count() != 40000 {
+		t.Fatalf("merged count = %d, want 40000", merged.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := merged.Quantile(q)
+		want := exactQ(all, q)
+		rel := math.Abs(got-want) / want
+		t.Logf("merged p%g: sketch=%.6g exact=%.6g rel-err=%.4f", q*100, got, want, rel)
+		if rel > 0.05 {
+			t.Errorf("merged p%g: sketch=%.6g exact=%.6g rel-err=%.4f > 0.05", q*100, got, want, rel)
+		}
+	}
+}
+
+func TestSketchMergeSmallSides(t *testing.T) {
+	// Uninitialized (<5 obs) sketches merge by replay, in both
+	// directions.
+	a := NewSketch(0.5)
+	b := NewSketch(0.5)
+	a.Observe(1)
+	a.Observe(2)
+	b.Observe(3)
+	a.Merge(b)
+	if a.Count() != 3 || a.Quantile(0.5) != 2 {
+		t.Errorf("small-small merge: count=%d p50=%g", a.Count(), a.Quantile(0.5))
+	}
+
+	big := NewSketch(0.5)
+	for i := 1; i <= 1000; i++ {
+		big.Observe(float64(i))
+	}
+	small := NewSketch(0.5)
+	small.Observe(500.5)
+	smallFirst := NewSketch(0.5)
+	smallFirst.Observe(500.5)
+	smallFirst.Merge(big)
+	big.Merge(small)
+	if big.Count() != 1001 || smallFirst.Count() != 1001 {
+		t.Fatalf("counts after mixed merges: %d, %d", big.Count(), smallFirst.Count())
+	}
+	for name, s := range map[string]*Sketch{"big<-small": big, "small<-big": smallFirst} {
+		if got := s.Quantile(0.5); math.Abs(got-500.5) > 25 {
+			t.Errorf("%s p50 = %g, want ~500.5", name, got)
+		}
+	}
+}
+
+func TestSketchMergeTargetMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched merge targets must panic")
+		}
+	}()
+	a := NewSketch(0.5)
+	b := NewSketch(0.9)
+	for i := 0; i < 10; i++ {
+		a.Observe(float64(i))
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+}
+
+func TestSketchTargetsSortedDeduped(t *testing.T) {
+	s := NewSketch(0.99, 0.5, 0.99, 0.9)
+	want := []float64{0.5, 0.9, 0.99}
+	if !reflect.DeepEqual(s.Targets(), want) {
+		t.Errorf("targets = %v, want %v", s.Targets(), want)
+	}
+}

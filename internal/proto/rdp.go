@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/hostsim"
+	"repro/internal/metrics"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/xkernel"
@@ -61,6 +62,25 @@ func (r *RDP) Name() string { return "rdp" }
 
 // Stats returns a copy of the counters.
 func (r *RDP) Stats() RDPStats { return r.stats }
+
+// RegisterMetrics registers RDP's counters as snapshot-time samples
+// under prefix — the retransmit/backoff visibility the telemetry
+// plane exists for. A nil registry is a no-op.
+func (r *RDP) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s := &r.stats
+	reg.Sample(prefix+"/data_sent", metrics.KindCounter, func() int64 { return s.DataSent })
+	reg.Sample(prefix+"/retransmits", metrics.KindCounter, func() int64 { return s.Retransmits })
+	reg.Sample(prefix+"/timeouts", metrics.KindCounter, func() int64 { return s.Timeouts })
+	reg.Sample(prefix+"/acks_sent", metrics.KindCounter, func() int64 { return s.AcksSent })
+	reg.Sample(prefix+"/delivered", metrics.KindCounter, func() int64 { return s.Delivered })
+	reg.Sample(prefix+"/out_of_order", metrics.KindCounter, func() int64 { return s.OutOfOrder })
+	reg.Sample(prefix+"/checksum_err", metrics.KindCounter, func() int64 { return s.ChecksumErr })
+	reg.Sample(prefix+"/dup_acks", metrics.KindCounter, func() int64 { return s.DupAcks })
+	reg.Sample(prefix+"/failed", metrics.KindCounter, func() int64 { return s.Failed })
+}
 
 // ProtoRDP is RDP's protocol number in the IP header.
 const ProtoRDP = 27
@@ -327,6 +347,9 @@ func (s *rdpSession) retransmitter(p *sim.Proc) {
 				continue
 			}
 			s.r.stats.Retransmits++
+			if eng := s.r.host.Eng; eng.Recording() {
+				eng.Emit(sim.TraceEvent{At: eng.Now(), Ph: 'i', Comp: "rdp", Cat: "proto", Name: "retransmit", Arg: int64(seq)})
+			}
 			if err := s.sendSegment(p, rdpData, seq, data); err != nil {
 				return
 			}

@@ -52,7 +52,24 @@ type ShardGroup struct {
 
 	workers []*shardWorker
 	down    bool
+
+	stats GroupStats
 }
+
+// GroupStats are scheduler-level diagnostics of a sharded run. They
+// describe the execution substrate, not the simulation: windows and
+// merge depth depend on the shard count, and BarrierStallNS is wall
+// clock. They are therefore registered as diagnostic metrics only and
+// never appear in canonical (byte-compared) snapshots.
+type GroupStats struct {
+	Windows        uint64 // lookahead windows executed
+	Injected       uint64 // cross-shard events merged at barriers
+	MaxMergeDepth  uint64 // largest per-window cross-shard merge batch
+	BarrierStallNS int64  // wall time the coordinator spent waiting on shard workers
+}
+
+// Stats returns a snapshot of the group's scheduler diagnostics.
+func (g *ShardGroup) Stats() GroupStats { return g.stats }
 
 // NewShardGroup creates n engines, all seeded with seed, indexed
 // 0..n-1. Run the simulation with Run/RunUntil on the group, not on the
@@ -113,6 +130,7 @@ func (g *ShardGroup) Inject(dst *Engine, at, schedAt Time, xid, seq uint64, cb f
 	if at <= g.lastLimit {
 		panic(fmt.Sprintf("sim: lookahead violation: cross-shard event at %v inside window ending %v", at, g.lastLimit))
 	}
+	g.stats.Injected++
 	dst.InjectStamped(at, schedAt, xid, seq, cb, arg)
 }
 
@@ -231,6 +249,7 @@ func (g *ShardGroup) run(horizon Time) Time {
 			}
 		}
 		g.lastLimit = limit
+		g.stats.Windows++
 		// Dispatch only shards with work in the window; an idle shard's
 		// clock stays put so later injections can never land in its past.
 		var active []*shardWorker
@@ -240,17 +259,23 @@ func (g *ShardGroup) run(horizon Time) Time {
 				w.work <- limit
 			}
 		}
+		waitStart := time.Now()
 		var failure any
 		for _, w := range active {
 			if p := <-w.done; p != nil && failure == nil {
 				failure = p
 			}
 		}
+		g.stats.BarrierStallNS += time.Since(waitStart).Nanoseconds()
 		if failure != nil {
 			panic(failure)
 		}
+		injectedBefore := g.stats.Injected
 		for _, f := range g.flushers {
 			f()
+		}
+		if depth := g.stats.Injected - injectedBefore; depth > g.stats.MaxMergeDepth {
+			g.stats.MaxMergeDepth = depth
 		}
 	}
 	return g.Now()

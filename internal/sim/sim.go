@@ -109,6 +109,7 @@ type Engine struct {
 	stopped  bool
 	limit    Time // 0 means no limit
 	tracer   func(t Time, format string, args ...any)
+	recorder func(TraceEvent)
 	running  bool
 	// shard/group identify the engine's place in a ShardGroup (zero /
 	// nil for a standalone engine).
@@ -190,6 +191,47 @@ func (e *Engine) Tracing() bool { return e.tracer != nil }
 func (e *Engine) Tracef(format string, args ...any) {
 	if e.tracer != nil {
 		e.tracer(e.now, format, args...)
+	}
+}
+
+// TraceEvent is one typed trace record, the structured sibling of the
+// printf-style Tracef stream. The Ph byte follows the Chrome
+// trace-event phase convention so records export losslessly to a
+// Perfetto-loadable timeline: 'i' instant, 'X' complete span (At is
+// the span start, Dur its length), 'C' counter sample (Arg is the
+// counter value). Comp names the emitting component and becomes a
+// timeline track; Name is the event (or counter) name; Cat is a
+// coarse category for filtering (cell/pdu/irq/drop/proto/drv/q).
+//
+// The struct is plain data passed by value: emitting one performs no
+// allocation, and recording is entirely passive — no engine state is
+// read or written beyond the recorder callback, so enabling it cannot
+// perturb the simulation.
+type TraceEvent struct {
+	At   Time
+	Dur  Time
+	Ph   byte
+	Comp string
+	Cat  string
+	Name string
+	Arg  int64
+}
+
+// SetRecorder installs a typed-trace callback invoked by Emit. A nil
+// recorder disables typed tracing.
+func (e *Engine) SetRecorder(fn func(TraceEvent)) { e.recorder = fn }
+
+// Recording reports whether a typed-trace recorder is installed — hot
+// paths branch on it so disabled tracing costs one predictable branch
+// and zero allocations.
+func (e *Engine) Recording() bool { return e.recorder != nil }
+
+// Emit hands a typed trace record to the recorder, if any. Callers
+// stamp At themselves (usually e.Now(); span emitters backdate At to
+// the span start).
+func (e *Engine) Emit(ev TraceEvent) {
+	if e.recorder != nil {
+		e.recorder(ev)
 	}
 }
 
