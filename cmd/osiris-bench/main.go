@@ -49,6 +49,7 @@ var (
 	flagWorkers = flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS, 1 = serial)")
 	flagShards  = flag.Int("shards", 1, "engine shards per simulated system (1 = serial engine; >1 runs each testbed/cluster on a conservative-parallel shard group — results are byte-identical)")
 	flagRun     = flag.String("run", "", "regexp selecting experiment jobs by name, e.g. 'fig3/double.*65536' (enables all sections unless some are given)")
+	flagPerCell = flag.Bool("percell", false, "force the switch's per-cell fabric instead of train forwarding (results are byte-identical; CI diffs the two)")
 )
 
 // runFilter is the compiled -run expression (nil when unset).
@@ -154,11 +155,11 @@ func sweepSizes() []int {
 // system on a sharded engine group; the printed numbers are identical
 // either way (the shard-invariance tests pin this).
 func dsOptions() core.Options {
-	return core.Options{Profile: hostsim.DEC5000_200(), Driver: driver.Config{Cache: driver.CacheLazy}, Shards: *flagShards}
+	return core.Options{Profile: hostsim.DEC5000_200(), Driver: driver.Config{Cache: driver.CacheLazy}, Shards: *flagShards, PerCellFabric: *flagPerCell}
 }
 
 func alOptions() core.Options {
-	return core.Options{Profile: hostsim.DEC3000_600(), Driver: driver.Config{Cache: driver.CacheNone}, Shards: *flagShards}
+	return core.Options{Profile: hostsim.DEC3000_600(), Driver: driver.Config{Cache: driver.CacheNone}, Shards: *flagShards, PerCellFabric: *flagPerCell}
 }
 
 func table1() {

@@ -47,7 +47,7 @@ type metricsReport struct {
 func metricsFanIn() metricsExperiment {
 	const clients, msgSize, count = 4, 8192, 25
 	reg := metrics.New()
-	cl := core.NewCluster(core.Options{Shards: *flagShards, Metrics: reg}, clients+1)
+	cl := core.NewCluster(core.Options{Shards: *flagShards, Metrics: reg, PerCellFabric: *flagPerCell}, clients+1)
 	defer cl.Shutdown()
 	res, err := cl.RunFanIn(workload.FanIn{
 		Clients: clients, MessageBytes: msgSize, Messages: count,

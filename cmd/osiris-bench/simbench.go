@@ -23,6 +23,7 @@ var (
 	flagCPUProf  = flag.String("cpuprofile", "", "write a CPU profile of the simbench workloads to this file")
 	flagMemProf  = flag.String("memprofile", "", "write an allocation profile of the simbench workloads to this file")
 	flagReps     = flag.Int("benchreps", 3, "repetitions per simbench workload (best wall time is reported)")
+	flagAlloGate = flag.Float64("allocgate", 0, "fail (exit 1) if fanin_4x8k exceeds this many allocs per cell (0 disables; allocation counts are deterministic, unlike wall time)")
 )
 
 func init() { extraSections = append(extraSections, runSimBench) }
@@ -182,7 +183,7 @@ func benchFig3Receive() simBenchResult {
 // moves at least one of them.
 func benchFanIn() simBenchResult {
 	const clients, msgSize, count = 4, 8192, 25
-	cl := core.NewCluster(core.Options{Shards: *flagShards}, clients+1)
+	cl := core.NewCluster(core.Options{Shards: *flagShards, PerCellFabric: *flagPerCell}, clients+1)
 	defer cl.Shutdown()
 	return measure("fanin_4x8k", func() (uint64, time.Duration, int64, map[string]float64) {
 		ev0 := cl.Events()
@@ -213,6 +214,13 @@ func runSimBench() {
 		return
 	}
 	fmt.Println("== Simulator core wall-clock benchmarks ==")
+	if *flagMemProf != "" {
+		// Per-cell allocation counts are small multiplied by many; the
+		// default 512 KB sampling rate would see a handful of samples
+		// for the whole run. Record every allocation when profiling —
+		// wall-clock numbers from a profiled run are not quotable anyway.
+		runtime.MemProfileRate = 1
+	}
 	if *flagCPUProf != "" {
 		f, err := os.Create(*flagCPUProf)
 		if err != nil {
@@ -273,4 +281,18 @@ func runSimBench() {
 	}
 
 	writeReport("simbench", *flagBenchOut, report)
+
+	if *flagAlloGate > 0 {
+		for _, r := range report.Results {
+			if r.Name != "fanin_4x8k" {
+				continue
+			}
+			if r.AllocsPerCell > *flagAlloGate {
+				fmt.Fprintf(os.Stderr, "simbench: allocgate: %s at %.3f allocs/cell exceeds the %.3f gate\n",
+					r.Name, r.AllocsPerCell, *flagAlloGate)
+				os.Exit(1)
+			}
+			fmt.Printf("allocgate: %s %.3f allocs/cell within %.3f\n", r.Name, r.AllocsPerCell, *flagAlloGate)
+		}
+	}
 }

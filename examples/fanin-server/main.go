@@ -32,6 +32,12 @@ import (
 // tentpole invariant: observing the system must not change what it does.
 var flagMetrics = flag.String("metrics", "", "write both regimes' canonical telemetry snapshots to this JSON file")
 
+// -percell forces the switch's per-cell queue/arbiter machine instead of
+// train-preserving forwarding. Stdout is byte-identical either way — CI
+// diffs the two — pinning that the arithmetic fast path computes exactly
+// what the per-cell fabric does.
+var flagPerCell = flag.Bool("percell", false, "force the switch's per-cell fabric instead of train forwarding")
+
 func registry() *metrics.Registry {
 	if *flagMetrics == "" {
 		return nil
@@ -46,7 +52,7 @@ func main() {
 	// Paced regime: lossless fan-in under the server's receive ceiling.
 	// Each regime gets its own registry (metric names are per-topology).
 	pacedReg := registry()
-	cl := core.NewCluster(core.Options{Metrics: pacedReg}, w.Clients+1)
+	cl := core.NewCluster(core.Options{Metrics: pacedReg, PerCellFabric: *flagPerCell}, w.Clients+1)
 	res, err := cl.RunFanIn(w)
 	if err != nil {
 		log.Fatal(err)
@@ -73,7 +79,7 @@ func main() {
 
 	// Overload regime: incast collapse at the switch's output port.
 	overReg := registry()
-	over, err := core.RunFanIn(core.Options{Metrics: overReg}, w.Clients, w.MessageBytes, w.Messages)
+	over, err := core.RunFanIn(core.Options{Metrics: overReg, PerCellFabric: *flagPerCell}, w.Clients, w.MessageBytes, w.Messages)
 	if err != nil {
 		log.Fatal(err)
 	}

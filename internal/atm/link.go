@@ -129,11 +129,16 @@ type LinkStats struct {
 // linkCell is one in-flight cell of a deterministic link's train:
 // serStart is the instant its transmit-FIFO slot frees (when the old
 // pacing process would have dequeued it to start serialization), and
-// deliver is the instant the receiver callback runs.
+// deliver is the instant the receiver callback runs. accept is the
+// instant the sender's Send returned — for a proc sender that is the
+// push instant, but a virtual sender (SendScheduled) may push a cell
+// whose accept lies in the future, and the walker must not claim the
+// delivery event before a real sender would have scheduled it.
 type linkCell struct {
 	c        Cell
 	serStart sim.Time
 	deliver  sim.Time
+	accept   sim.Time
 }
 
 // Link is one unidirectional physical link. Cells submitted with Send
@@ -167,6 +172,7 @@ type Link struct {
 	frontier    sim.Time // serialization end of the newest accepted cell
 	walkerArmed bool
 	slotArmed   bool
+	armPending  bool // arm event scheduled at the next accept instant
 	notFull     *sim.Cond
 
 	// Cross-shard half (nil for a link local to one engine). See xlink.go.
@@ -257,11 +263,11 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	if l.x != nil {
 		// The occupancy ring keeps only the timing of the slot; the cell
 		// itself travels through the cross-shard buffer.
-		l.push(linkCell{serStart: serStart, deliver: at})
+		l.push(linkCell{serStart: serStart, deliver: at, accept: now})
 		l.sendRemote(c, at, prevLast)
 	} else {
-		l.push(linkCell{c: c, serStart: serStart, deliver: at})
-		if !l.walkerArmed {
+		l.push(linkCell{c: c, serStart: serStart, deliver: at, accept: now})
+		if !l.walkerArmed && !l.armPending {
 			l.walkerArmed = true
 			l.eng.AtCall(at, linkDeliverCB, l)
 		}
@@ -269,6 +275,90 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	if l.notFull.Waiting() > 0 {
 		l.armSlotWake()
 	}
+}
+
+// SendScheduled transmits a cell on behalf of a virtual sender — one
+// whose dequeue instant t was computed arithmetically rather than
+// reached by a blocked proc. t must be at or after the engine's current
+// instant and nondecreasing across calls, and the caller must be the
+// link's only sender (the switch's egress arbiter is; boards are not).
+// The link performs exactly the state transitions Send would have
+// performed had a proc executed it at t — virtual-FIFO blocking,
+// serialization pacing, the per-link FIFO-order bump, walker arming at
+// the accept instant — and returns the instant Send would have
+// returned: the first u ≥ t at which the transmit FIFO has a free
+// slot. Deterministic (cell-train) links only.
+func (l *Link) SendScheduled(t sim.Time, c Cell) sim.Time {
+	if !l.det {
+		panic("atm: SendScheduled on a non-deterministic link")
+	}
+	if l.x != nil {
+		l.purgeServed(l.eng.Now())
+	}
+	u := l.slotFree(t)
+	serStart := u
+	if l.frontier > serStart {
+		serStart = l.frontier
+	}
+	serEnd := serStart.Add(l.cellTime)
+	l.frontier = serEnd
+	at := serEnd.Add(l.cfg.PropDelay + l.cfg.Skew.Delay(l.cfg.Index, nil))
+	prevLast := l.lastDeliver
+	if at <= l.lastDeliver {
+		at = l.lastDeliver + 1 // preserve per-link FIFO order
+	}
+	l.lastDeliver = at
+	l.stats.Sent++
+	if l.x != nil {
+		l.push(linkCell{serStart: serStart, deliver: at, accept: u})
+		l.sendRemoteAt(c, at, prevLast, u)
+		return u
+	}
+	l.push(linkCell{c: c, serStart: serStart, deliver: at, accept: u})
+	if !l.walkerArmed && !l.armPending {
+		if u <= l.eng.Now() {
+			// A proc sender would have armed right here, right now.
+			l.walkerArmed = true
+			l.eng.AtCall(at, linkDeliverCB, l)
+		} else {
+			// A proc sender would still be blocked; it would arm the
+			// walker only at the accept instant, and the delivery event
+			// must carry that instant as its scheduling stamp.
+			l.armPending = true
+			l.eng.AtCall(u, linkArmCB, l)
+		}
+	}
+	return u
+}
+
+// slotFree returns the first instant u ≥ t at which the virtual
+// transmit FIFO has a free slot — the instant a sender arriving at t
+// would come out of the Send blocking loop. Serialization starts are
+// strictly increasing along the train, so if the FIFO is full at t the
+// answer is the start instant of the FIFODepth-th entry from the tail.
+func (l *Link) slotFree(t sim.Time) sim.Time {
+	n := 0
+	for i := l.count - 1; i >= 0; i-- {
+		if l.at(i).serStart <= t {
+			break
+		}
+		n++
+		if n >= l.cfg.FIFODepth {
+			return l.at(i).serStart
+		}
+	}
+	return t
+}
+
+// linkArmCB fires at a virtually sent cell's accept instant: the proc
+// sender being mimicked would arm the delivery walker here, so the
+// delivery event's canonical (at, schedAt) stamp matches the serial
+// per-cell machine exactly.
+func linkArmCB(a any) {
+	l := a.(*Link)
+	l.armPending = false
+	l.walkerArmed = true
+	l.eng.AtCall(l.at(0).deliver, linkDeliverCB, l)
 }
 
 // queued counts train cells still occupying a transmit-FIFO slot at
@@ -313,7 +403,11 @@ func linkSlotCB(a any) {
 
 // linkDeliverCB is the train walker: deliver the front cell, then
 // re-arm for the next one. Deliveries are strictly increasing per link,
-// so a single event walks the whole train.
+// so a single event walks the whole train. A next cell pushed by
+// SendScheduled whose accept instant is still ahead is not claimed yet:
+// in the serial per-cell machine the walker would have found an empty
+// train here and the (blocked) sender would arm at the accept instant,
+// so the re-arm defers to linkArmCB to keep the delivery stamp exact.
 func linkDeliverCB(a any) {
 	l := a.(*Link)
 	e := l.pop()
@@ -322,7 +416,13 @@ func linkDeliverCB(a any) {
 		l.deliver(e.c, l.cfg.Index)
 	}
 	if l.count > 0 {
-		l.eng.AtCall(l.at(0).deliver, linkDeliverCB, l)
+		if nxt := l.at(0); nxt.accept > l.eng.Now() {
+			l.walkerArmed = false
+			l.armPending = true
+			l.eng.AtCall(nxt.accept, linkArmCB, l)
+		} else {
+			l.eng.AtCall(nxt.deliver, linkDeliverCB, l)
+		}
 	} else {
 		l.walkerArmed = false
 	}

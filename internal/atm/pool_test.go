@@ -1,0 +1,88 @@
+package atm
+
+import "testing"
+
+func TestPayloadPoolRoundTrip(t *testing.T) {
+	p := NewPayloadPool()
+	h1, b1 := p.Get()
+	h2, b2 := p.Get()
+	if b1 == b2 {
+		t.Fatal("two live handles share a buffer")
+	}
+	b1[0], b2[0] = 0xAA, 0xBB
+	if p.Bytes(h1)[0] != 0xAA || p.Bytes(h2)[0] != 0xBB {
+		t.Fatal("Bytes does not resolve to the written buffer")
+	}
+	if p.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", p.Live())
+	}
+	p.Put(h1)
+	p.Put(h2)
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d after puts, want 0", p.Live())
+	}
+}
+
+func TestPayloadPoolPointerStableAcrossGrowth(t *testing.T) {
+	p := NewPayloadPool()
+	h0, b0 := p.Get()
+	b0[0] = 0x5A
+	// Force several chunk growths; the first buffer must not move.
+	var hs []PoolHandle
+	for i := 0; i < 5*poolChunkSlots; i++ {
+		h, _ := p.Get()
+		hs = append(hs, h)
+	}
+	if p.Bytes(h0) != b0 || b0[0] != 0x5A {
+		t.Fatal("buffer moved or lost its contents across pool growth")
+	}
+	for _, h := range hs {
+		p.Put(h)
+	}
+	p.Put(h0)
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", p.Live())
+	}
+}
+
+func TestPayloadPoolDoubleFreePanics(t *testing.T) {
+	p := NewPayloadPool()
+	h, _ := p.Get()
+	p.Put(h)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	p.Put(h)
+}
+
+func TestPayloadPoolStaleHandlePanics(t *testing.T) {
+	p := NewPayloadPool()
+	h, _ := p.Get()
+	p.Put(h)
+	p.Get() // reuses the slot with a bumped generation
+	defer func() {
+		if recover() == nil {
+			t.Error("stale-generation Bytes did not panic")
+		}
+	}()
+	p.Bytes(h)
+}
+
+// TestPayloadPoolSteadyStateZeroAlloc pins the flyweight property: once
+// the pool has grown to the workload's high-water mark, Get/Put cycles
+// allocate nothing.
+func TestPayloadPoolSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPayloadPool()
+	h, _ := p.Get()
+	p.Put(h)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h, b := p.Get()
+		b[0]++
+		p.Put(h)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Get/Put allocated %.2f per cycle, want 0", allocs)
+	}
+}

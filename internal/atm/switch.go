@@ -31,6 +31,11 @@ type SwitchConfig struct {
 	// modelling a flaky fabric element rather than a flaky link. The
 	// per-lane link fault plane is configured on Link.Fault instead.
 	Fault *fault.Config
+	// PerCellFabric forces every output port onto the per-cell
+	// queue/arbiter machine even when the train-forwarding fast path
+	// would apply. The two machines produce byte-identical results; the
+	// knob exists so CI can diff them and so anomalies can be bisected.
+	PerCellFabric bool
 }
 
 func (c SwitchConfig) withDefaults() SwitchConfig {
@@ -64,6 +69,30 @@ type laneCell struct {
 	enq  sim.Time
 }
 
+// Port forwarding modes. A port latches its mode on the first cell
+// routed to it and never mixes machines afterwards: train mode
+// precomputes the whole queue→arbiter→link future of each cell at
+// arrival, so a mid-run switch to the event-driven machine would
+// double-account the in-flight tail.
+const (
+	vModeUnlatched = int8(iota)
+	vModeTrain
+	vModePerCell
+)
+
+// vPoint is the precomputed future of one virtually-forwarded cell:
+// enq is its arrival (enqueue) instant, pop the instant the egress
+// arbiter dequeues it, acc the instant the egress link accepts it (the
+// instant the arbiter's blocking Send would have returned and counted
+// it Forwarded). Within one port pop and acc are nondecreasing in
+// arrival order, which is what lets a ring with monotone settle
+// cursors replay the per-cell machine's bookkeeping exactly.
+type vPoint struct {
+	enq sim.Time
+	pop sim.Time
+	acc sim.Time
+}
+
 // SwitchPort is one bidirectional port of a Switch: an ingress stripe
 // group the attached node transmits on, an egress stripe group it
 // receives on, and a bounded FIFO cell queue feeding the egress lanes.
@@ -80,6 +109,17 @@ type SwitchPort struct {
 	// mQDelay is the egress queueing-delay sketch (µs), nil unless
 	// RegisterMetrics installed one.
 	mQDelay *metrics.Sketch
+
+	// Train-forwarding (virtual egress) state; see Switch.trainForward.
+	vMode int8
+	vBusy sim.Time // acc of the last virtually-sent cell (arbiter busy-until)
+	// vq is a ring of pending vPoints in arrival order. Entries before
+	// the vqPop cursor have been virtually dequeued, before vqObs have
+	// fed the queue-delay sketch; entries retire off the head once
+	// their acc instant has passed and Forwarded is credited.
+	vq            []vPoint
+	vqHead, vqLen int
+	vqPop, vqObs  int
 }
 
 // Index returns the port number.
@@ -97,14 +137,32 @@ func (pt *SwitchPort) Egress() *StripeGroup { return pt.out }
 // snapshot is only coherent between engine steps — read it after the
 // engine has quiesced (Run returned or Shutdown), not while events are
 // being executed by another proc.
-func (pt *SwitchPort) Stats() SwitchPortStats { return pt.stats }
+func (pt *SwitchPort) Stats() SwitchPortStats {
+	if pt.vMode == vModeTrain {
+		// Credit every virtual forward whose accept instant has passed:
+		// the per-cell machine counts Forwarded when the arbiter's Send
+		// returns, so a horizon-cut run must not count the in-flight tail.
+		pt.settle(pt.eng.Now(), true)
+	}
+	return pt.stats
+}
 
 // Injector exposes the port's output-side fault injector (nil when
 // fault injection is off).
 func (pt *SwitchPort) Injector() *fault.Injector { return pt.inj }
 
-// QueueLen reports the cells currently waiting in the output queue.
-func (pt *SwitchPort) QueueLen() int { return pt.queue.Len() }
+// QueueLen reports the cells currently waiting in the output queue. In
+// train mode the queue is virtual: the count is the number of accepted
+// cells whose precomputed dequeue instant is still ahead of the
+// engine's clock — identical to what the event-driven queue would hold
+// at the same quiesced instant.
+func (pt *SwitchPort) QueueLen() int {
+	if pt.vMode == vModeTrain {
+		pt.settle(pt.eng.Now(), true)
+		return pt.vqLen - pt.vqPop
+	}
+	return pt.queue.Len()
+}
 
 // drain is the port's egress arbiter: cells leave the bounded queue in
 // strict FIFO arrival order (no per-flow scheduling) and are serialized
@@ -267,6 +325,13 @@ func (sw *Switch) forward(inPort int, c Cell, lane int) {
 		return
 	}
 	op := sw.ports[out]
+	if op.vMode == vModeUnlatched {
+		op.latchMode(sw.cfg.PerCellFabric)
+	}
+	if op.vMode == vModeTrain {
+		sw.trainForward(op, c, lane)
+		return
+	}
 	act := op.inj.Apply(sw.eng.Now())
 	if act.Drop {
 		return // counted by the injector
@@ -313,6 +378,131 @@ func (sw *Switch) enqueue(op *SwitchPort, lc laneCell) {
 	}
 }
 
+// latchMode decides, once per port, whether cells routed to this port
+// take the train-forwarding fast path or the per-cell queue machine.
+// Anything that observes or perturbs cells one at a time — an
+// output-side fault injector, debug tracing, trace recording, or an
+// egress link that draws randomness per cell — forces per-cell mode;
+// so does the explicit PerCellFabric knob.
+func (pt *SwitchPort) latchMode(forcePerCell bool) {
+	pt.vMode = vModePerCell
+	if forcePerCell || pt.inj != nil || pt.eng.Tracing() || pt.eng.Recording() {
+		return
+	}
+	for _, l := range pt.out.links {
+		if !l.det {
+			return
+		}
+	}
+	pt.vMode = vModeTrain
+	// Capacity: the virtual queue holds at most QueueCells undequeued
+	// entries plus one dequeued-but-unaccepted straggler; headroom
+	// beyond that only guards the ring against a model bug.
+	pt.vq = make([]vPoint, pt.queue.Cap()+8)
+}
+
+// trainForward is the zero-alloc fast path: instead of enqueueing an
+// event-driven cell, compute the cell's entire future arithmetically —
+// dequeue instant, link accept instant, delivery stamp — and hand it
+// to the egress link as a scheduled send. The recurrence mirrors the
+// per-cell machine exactly: the single egress arbiter pops the next
+// cell as soon as it is both present (arrival a) and the arbiter is
+// free (previous accept u), so pop = max(u_prev, a); the link then
+// reports the accept instant for this cell.
+//
+// Tie discipline: at any tied instant the engine executes link
+// arrivals before the arbiter's resume events (a proc resumed by a
+// Cond.Signal at t runs via an event scheduled *at* t, after the
+// arrival that signalled it). Hence settling at an arrival uses strict
+// inequalities — a pop or accept stamped exactly now has not happened
+// yet — while settling after the run quiesces uses ≤.
+func (sw *Switch) trainForward(op *SwitchPort, c Cell, lane int) {
+	now := sw.eng.Now()
+	op.settle(now, false)
+	occ := op.vqLen - op.vqPop
+	if occ >= sw.cfg.QueueCells {
+		op.stats.Dropped++
+		// Tracing/Recording are off in train mode (latch condition), so
+		// the per-cell drop path's trace emissions have no counterpart.
+		return
+	}
+	pop := op.vBusy
+	if now > pop {
+		pop = now
+	}
+	acc := op.out.Link(lane).SendScheduled(pop, c)
+	op.vBusy = acc
+	op.vqPush(vPoint{enq: now, pop: pop, acc: acc})
+	if n := int64(occ + 1); n > op.stats.HighWater {
+		op.stats.HighWater = n
+	}
+}
+
+// settle advances the port's virtual bookkeeping to now. closed=false
+// means "called from an arrival event at now": pops and accepts
+// stamped exactly now have not executed yet, so thresholds are strict.
+// closed=true means the engine has quiesced at now and everything
+// stamped ≤ now is done. Idempotent; all cursors are monotone.
+func (pt *SwitchPort) settle(now sim.Time, closed bool) {
+	for pt.vqObs < pt.vqLen {
+		e := pt.vqAt(pt.vqObs)
+		if e.pop > now || (!closed && e.pop == now) {
+			break
+		}
+		if pt.mQDelay != nil {
+			pt.mQDelay.Observe((e.pop - e.enq).Microseconds())
+		}
+		pt.vqObs++
+	}
+	for pt.vqPop < pt.vqLen {
+		e := pt.vqAt(pt.vqPop)
+		if e.pop > now || (!closed && e.pop == now) {
+			break
+		}
+		pt.vqPop++
+	}
+	for pt.vqLen > 0 {
+		e := pt.vqAt(0)
+		if e.acc > now || (!closed && e.acc == now) {
+			break
+		}
+		// acc ≥ pop, so a retiring entry has already passed both
+		// cursors above; shift them with the head.
+		pt.stats.Forwarded++
+		pt.vqHead++
+		if pt.vqHead == len(pt.vq) {
+			pt.vqHead = 0
+		}
+		pt.vqLen--
+		pt.vqPop--
+		pt.vqObs--
+	}
+}
+
+// vqAt returns the i-th pending vPoint in arrival order.
+func (pt *SwitchPort) vqAt(i int) *vPoint {
+	j := pt.vqHead + i
+	if j >= len(pt.vq) {
+		j -= len(pt.vq)
+	}
+	return &pt.vq[j]
+}
+
+func (pt *SwitchPort) vqPush(e vPoint) {
+	if pt.vqLen == len(pt.vq) {
+		// Unreachable if the occupancy model is right; grow rather than
+		// corrupt the ring so a bug surfaces as a test diff, not chaos.
+		grown := make([]vPoint, 2*len(pt.vq))
+		for i := 0; i < pt.vqLen; i++ {
+			grown[i] = *pt.vqAt(i)
+		}
+		pt.vq = grown
+		pt.vqHead = 0
+	}
+	*pt.vqAt(pt.vqLen) = e
+	pt.vqLen++
+}
+
 // delayedCell carries a reorder-delayed cell to its deferred enqueue.
 type delayedCell struct {
 	sw *Switch
@@ -330,12 +520,13 @@ func delayedEnqueueCB(a any) {
 func (sw *Switch) Stats() SwitchStats {
 	var s SwitchStats
 	for _, pt := range sw.ports {
-		s.In += pt.stats.In
-		s.NoRoute += pt.stats.NoRoute
-		s.Forwarded += pt.stats.Forwarded
-		s.Dropped += pt.stats.Dropped
-		if pt.stats.HighWater > s.HighWater {
-			s.HighWater = pt.stats.HighWater
+		ps := pt.Stats()
+		s.In += ps.In
+		s.NoRoute += ps.NoRoute
+		s.Forwarded += ps.Forwarded
+		s.Dropped += ps.Dropped
+		if ps.HighWater > s.HighWater {
+			s.HighWater = ps.HighWater
 		}
 	}
 	return s
@@ -354,11 +545,15 @@ func (sw *Switch) RegisterMetrics(r *metrics.Registry, prefix string) {
 	for _, pt := range sw.ports {
 		pt := pt
 		p := fmt.Sprintf("%s/port%d", prefix, pt.index)
-		r.Sample(p+"/in", metrics.KindCounter, func() int64 { return pt.stats.In })
-		r.Sample(p+"/no_route", metrics.KindCounter, func() int64 { return pt.stats.NoRoute })
-		r.Sample(p+"/forwarded", metrics.KindCounter, func() int64 { return pt.stats.Forwarded })
-		r.Sample(p+"/dropped", metrics.KindCounter, func() int64 { return pt.stats.Dropped })
-		r.Sample(p+"/queue_high_water", metrics.KindHighWater, func() int64 { return pt.stats.HighWater })
+		// Read through Stats(), not pt.stats: in train mode Stats settles
+		// the virtual bookkeeping — crediting Forwarded and flushing
+		// pending queue-delay observations into the sketch — and samples
+		// are evaluated in registration order, before the sketch is read.
+		r.Sample(p+"/in", metrics.KindCounter, func() int64 { return pt.Stats().In })
+		r.Sample(p+"/no_route", metrics.KindCounter, func() int64 { return pt.Stats().NoRoute })
+		r.Sample(p+"/forwarded", metrics.KindCounter, func() int64 { return pt.Stats().Forwarded })
+		r.Sample(p+"/dropped", metrics.KindCounter, func() int64 { return pt.Stats().Dropped })
+		r.Sample(p+"/queue_high_water", metrics.KindHighWater, func() int64 { return pt.Stats().HighWater })
 		pt.mQDelay = r.Quantiles(p+"/queue_delay_us", 0.5, 0.9, 0.99)
 	}
 }

@@ -9,28 +9,32 @@ import (
 
 // TestSwitchForwardZeroAlloc pins the fan-in hot path: a cell crossing
 // the fabric (route lookup, fault check, bounded-queue entry) allocates
-// nothing — with the telemetry plane disabled AND enabled. The enqueue
+// nothing — with the telemetry plane disabled AND enabled, under train
+// forwarding AND the forced per-cell machine. The enqueue
 // instrumentation is a nil-checked timestamp plus fixed-size counter
 // updates, so turning metrics on must not add a single allocation per
-// cell.
+// cell; and the per-cell fallback is the correctness oracle the train
+// path is diffed against, so it must stay alloc-free too.
 func TestSwitchForwardZeroAlloc(t *testing.T) {
-	for _, on := range []bool{false, true} {
-		e := sim.NewEngine(7)
-		sw := NewSwitch(e, 2, SwitchConfig{})
-		if on {
-			sw.RegisterMetrics(metrics.New(), "fabric")
+	for _, perCell := range []bool{false, true} {
+		for _, on := range []bool{false, true} {
+			e := sim.NewEngine(7)
+			sw := NewSwitch(e, 2, SwitchConfig{PerCellFabric: perCell})
+			if on {
+				sw.RegisterMetrics(metrics.New(), "fabric")
+			}
+			if err := sw.Route(5, 1); err != nil {
+				t.Fatal(err)
+			}
+			c := Cell{VCI: 5, Len: CellPayload}
+			// The queue fills after QueueCells iterations and later cells
+			// tail-drop; both the accept and drop paths must be alloc-free.
+			allocs := testing.AllocsPerRun(1000, func() { sw.forward(0, c, 0) })
+			if allocs != 0 {
+				t.Errorf("percell=%v metrics=%v: forward allocated %.1f per cell, want 0", perCell, on, allocs)
+			}
+			e.Shutdown()
 		}
-		if err := sw.Route(5, 1); err != nil {
-			t.Fatal(err)
-		}
-		c := Cell{VCI: 5, Len: CellPayload}
-		// The queue fills after QueueCells iterations and later cells
-		// tail-drop; both the accept and drop paths must be alloc-free.
-		allocs := testing.AllocsPerRun(1000, func() { sw.forward(0, c, 0) })
-		if allocs != 0 {
-			t.Errorf("metrics=%v: forward allocated %.1f per cell, want 0", on, allocs)
-		}
-		e.Shutdown()
 	}
 }
 

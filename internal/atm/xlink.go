@@ -124,7 +124,15 @@ func (l *Link) Dst() *sim.Engine {
 // the serial walker would have been idle (schedAt = now) or re-arming
 // (schedAt = prevLast) when this cell's delivery got scheduled.
 func (l *Link) sendRemote(c Cell, at sim.Time, prevLast sim.Time) {
-	now := l.eng.Now()
+	l.sendRemoteAt(c, at, prevLast, l.eng.Now())
+}
+
+// sendRemoteAt is sendRemote for a virtual sender (SendScheduled): now
+// is the computed accept instant — the instant a proc sender's Send
+// would have run — so the mimicked stamp is identical even though the
+// cell is buffered ahead of time. Appends stay in accept order, hence
+// the per-channel seq keeps its serial meaning.
+func (l *Link) sendRemoteAt(c Cell, at sim.Time, prevLast sim.Time, now sim.Time) {
 	schedAt := now
 	if prevLast > schedAt {
 		schedAt = prevLast

@@ -307,6 +307,11 @@ type Board struct {
 	// shadowPool recycles the CheckCRC shadow buffers across PDUs.
 	shadowPool [][]byte
 
+	// txPool stages outgoing cell payloads flyweight-style: the
+	// transmit DMA engine borrows a buffer per cell and frees it on
+	// delivery, so steady-state transmission allocates nothing.
+	txPool *atm.PayloadPool
+
 	rxInj      *fault.Injector // receive-path injector (nil when off)
 	reasmTimer sim.Event       // pending ReasmTimeout sweep, if any
 
@@ -380,6 +385,7 @@ func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
 		irq:    h.Int.Assert,
 		trkRx:  cfg.Name + "-rx",
 		trkTx:  cfg.Name + "-tx",
+		txPool: atm.NewPayloadPool(),
 	}
 	b.rxInj = fault.New(e, cfg.Name+"/rx", cfg.RxFault)
 	for i := 0; i < NumChannels; i++ {

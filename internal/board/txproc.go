@@ -120,7 +120,7 @@ func (b *Board) gather(p *sim.Proc, ch *Channel) bool {
 		n := len(st.descs)
 		ch.TxRing.ReaderAdvance(p, dpm.Board, ch.peekAhead+n)
 		ch.peekAhead = 0
-		ch.tx = txStream{}
+		ch.tx = txStream{descs: st.descs[:0]} // keep the descriptor scratch
 		b.checkNotifyFlag(p, ch)
 		return b.gather(p, ch)
 	}
@@ -263,7 +263,7 @@ func (b *Board) emitCell(p *sim.Proc, ch *Channel) {
 // carried by the final cell's DMA command.
 func (b *Board) finishPDU(ch *Channel) {
 	ch.peekAhead += len(ch.tx.descs)
-	ch.tx = txStream{}
+	ch.tx = txStream{descs: ch.tx.descs[:0]} // keep the descriptor scratch
 	b.stats.PDUsTx++
 }
 
@@ -293,7 +293,10 @@ func (b *Board) txDMAEngine(p *sim.Proc) {
 			acc = &aal5{}
 			state[cmd.ch.Index] = acc
 		}
-		var payload [atm.CellPayload]byte
+		// Stage the cell in a pooled flyweight buffer rather than a
+		// stack array: the gather below crosses enough call boundaries
+		// that escape analysis heap-allocates a local, one per cell.
+		hnd, payload := b.txPool.Get()
 		pos := 0
 		for _, seg := range cmd.segs {
 			b.host.Bus.DMARead(p, seg.Len)
@@ -327,6 +330,7 @@ func (b *Board) txDMAEngine(p *sim.Proc) {
 			b.eng.Tracef("cell: %s tx vci=%d link=%d len=%d", b.cfg.Name, cell.VCI, cmd.linkIdx, cell.Len)
 		}
 		b.deliverCell(p, cell, cmd.linkIdx)
+		b.txPool.Put(hnd) // free on delivery
 		b.putSegs(cmd.segs)
 		if cmd.advance > 0 {
 			if b.cfg.InterruptPerPDU {

@@ -95,9 +95,10 @@ func NewCluster(opt Options, n int) *Cluster {
 		cl.Nodes = append(cl.Nodes, buildNode(e, opt, fmt.Sprintf("n%d", i), proto.HostAddr(i+1)))
 	}
 	cl.Fabric = atm.NewSwitch(e, n, atm.SwitchConfig{
-		Width:      width,
-		Link:       opt.Link,
-		QueueCells: opt.FabricQueueCells,
+		Width:         width,
+		Link:          opt.Link,
+		QueueCells:    opt.FabricQueueCells,
+		PerCellFabric: opt.PerCellFabric,
 	})
 	for i, nd := range cl.Nodes {
 		pt := cl.Fabric.Port(i)

@@ -143,9 +143,10 @@ func buildShardedCluster(opt Options, n int, plan ShardPlan) *Cluster {
 		cl.Nodes = append(cl.Nodes, buildNode(cl.engs[i], opt, fmt.Sprintf("n%d", i), proto.HostAddr(i+1)))
 	}
 	cl.Fabric = atm.NewShardedSwitch(g, g.Engine(plan.FabricShard), cl.engs, atm.SwitchConfig{
-		Width:      width,
-		Link:       opt.Link,
-		QueueCells: opt.FabricQueueCells,
+		Width:         width,
+		Link:          opt.Link,
+		QueueCells:    opt.FabricQueueCells,
+		PerCellFabric: opt.PerCellFabric,
 	})
 	for i, nd := range cl.Nodes {
 		pt := cl.Fabric.Port(i)

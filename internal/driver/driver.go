@@ -183,6 +183,7 @@ type Driver struct {
 
 	// Receive side.
 	byPA    map[mem.PhysAddr]*rxBuffer
+	bufSlab []rxBuffer // backing store for all rxBuffers, sized up front
 	reserve []*rxBuffer
 	rxCond  *sim.Cond
 	freeMu  *mutex       // serializes the host's writer side of the free ring
@@ -216,13 +217,23 @@ func New(e *sim.Engine, h *hostsim.Host, b *board.Board, cfg Config) *Driver {
 	if cfg.Space == nil {
 		cfg.Space = h.Kernel
 	}
+	// The buffer pool's size is known now; carve the Go-side structures
+	// here, at construction, so the init proc's simulated work (wiring,
+	// ring pushes) does not interleave with host-heap growth. Purely a
+	// host-side allocation move — the simulated timeline is unchanged.
+	total := cfg.RxBufCount + cfg.ReserveBufs
+	if cfg.BufferFrames != nil {
+		total = len(cfg.BufferFrames)
+	}
 	d := &Driver{
 		host:     h,
 		b:        b,
 		ch:       b.Channel(cfg.ChannelIndex),
 		cfg:      cfg,
 		paths:    make(map[atm.VCI]*Path),
-		byPA:     make(map[mem.PhysAddr]*rxBuffer),
+		byPA:     make(map[mem.PhysAddr]*rxBuffer, total),
+		bufSlab:  make([]rxBuffer, 0, total),
+		reserve:  make([]*rxBuffer, 0, cfg.ReserveBufs+1),
 		txCond:   sim.NewCond(e),
 		rxCond:   sim.NewCond(e),
 		txMu:     newMutex(e),
@@ -287,14 +298,26 @@ func (d *Driver) allocRxBuffer(p *sim.Proc) *rxBuffer {
 		m.Wire(f)
 	}
 	d.host.WirePages(p, pages, d.cfg.SlowWiring)
-	buf := &rxBuffer{
-		va:    va,
-		pa:    m.FrameAddr(frames[0]),
-		size:  d.cfg.RxBufBytes,
-		space: d.cfg.Space,
-	}
+	buf := d.newRxBuffer()
+	buf.va = va
+	buf.pa = m.FrameAddr(frames[0])
+	buf.size = d.cfg.RxBufBytes
+	buf.space = d.cfg.Space
 	d.byPA[buf.pa] = buf
 	return buf
+}
+
+// newRxBuffer hands out the next slot of the preallocated slab (the
+// construction-time sizing covers every buffer the init proc creates),
+// falling back to the heap otherwise. Callers fill the fields in place —
+// passing a composite literal would defeat the slab, since the escaping
+// fallback path forces the literal itself onto the heap.
+func (d *Driver) newRxBuffer() *rxBuffer {
+	if len(d.bufSlab) < cap(d.bufSlab) {
+		d.bufSlab = d.bufSlab[:len(d.bufSlab)+1]
+		return &d.bufSlab[len(d.bufSlab)-1]
+	}
+	return new(rxBuffer)
 }
 
 // adoptRxBuffer registers a caller-supplied contiguous frame run as one
@@ -314,12 +337,11 @@ func (d *Driver) adoptRxBuffer(p *sim.Proc, frames []mem.Frame) *rxBuffer {
 		m.Wire(f)
 	}
 	d.host.WirePages(p, len(frames), d.cfg.SlowWiring)
-	buf := &rxBuffer{
-		va:    va,
-		pa:    m.FrameAddr(frames[0]),
-		size:  len(frames) * m.PageSize(),
-		space: d.cfg.Space,
-	}
+	buf := d.newRxBuffer()
+	buf.va = va
+	buf.pa = m.FrameAddr(frames[0])
+	buf.size = len(frames) * m.PageSize()
+	buf.space = d.cfg.Space
 	d.byPA[buf.pa] = buf
 	return buf
 }
@@ -382,14 +404,17 @@ func (pt *Path) SetHandler(h Handler) { pt.handler = h }
 // onComplete for that, e.g. to free header buffers). The message's pages
 // are wired for the DMA and unwired at completion (§2.4).
 func (d *Driver) Send(p *sim.Proc, pt *Path, m *msg.Message, onComplete func(p *sim.Proc)) error {
-	segs, err := m.PhysSegments()
+	segs, err := m.AppendPhysSegments(d.host.GetSegs())
 	if err != nil {
+		d.host.PutSegs(segs)
 		return err
 	}
 	if len(segs) == 0 {
+		d.host.PutSegs(segs)
 		return fmt.Errorf("driver: empty message")
 	}
 	if err := m.WireAll(); err != nil {
+		d.host.PutSegs(segs)
 		return err
 	}
 	pages := 0
@@ -438,6 +463,7 @@ func (d *Driver) Send(p *sim.Proc, pt *Path, m *msg.Message, onComplete func(p *
 	// Transmit-complete detection piggybacks on other driver activity.
 	d.reclaimLocked(p)
 	d.txMu.unlock()
+	d.host.PutSegs(segs)
 	return nil
 }
 

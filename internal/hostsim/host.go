@@ -20,6 +20,8 @@ type Host struct {
 	CPU    *sim.Resource
 	Int    *IntController
 	Kernel *mem.AddressSpace
+
+	segPool [][]mem.PhysBuffer // scratch slices for per-PDU segment lists
 }
 
 // New builds a host from a profile. memPages sizes physical memory (0
@@ -83,10 +85,15 @@ func (h *Host) Compute(p *sim.Proc, d time.Duration) {
 // contend with DMA. It returns the bytes the CPU observed — stale bytes
 // included, if the cache was stale (§2.3).
 func (h *Host) CPUReadData(p *sim.Proc, segs []mem.PhysBuffer) []byte {
-	var out []byte
-	line := h.Cache.LineSize()
+	total := 0
 	for _, seg := range segs {
-		buf := make([]byte, seg.Len)
+		total += seg.Len
+	}
+	out := make([]byte, total)
+	line := h.Cache.LineSize()
+	base := 0
+	for _, seg := range segs {
+		buf := out[base : base+seg.Len]
 		// Read line by line so misses are individually priced.
 		for off := 0; off < seg.Len; {
 			a := uint32(seg.Addr) + uint32(off)
@@ -102,9 +109,28 @@ func (h *Host) CPUReadData(p *sim.Proc, segs []mem.PhysBuffer) []byte {
 		}
 		words := (seg.Len + 3) / 4
 		h.Compute(p, h.Prof.Cycles(words))
-		out = append(out, buf...)
+		base += seg.Len
 	}
 	return out
+}
+
+// GetSegs pops an empty physical-segment scratch slice for a per-PDU
+// AppendPhysSegments call; PutSegs returns it (grown or not) to the pool.
+// The cooperative scheduler only switches procs inside simulated
+// operations, so a pop/use/push sequence never interleaves with another
+// proc's even when the user of the slice blocks in between.
+func (h *Host) GetSegs() []mem.PhysBuffer {
+	if n := len(h.segPool); n > 0 {
+		s := h.segPool[n-1]
+		h.segPool = h.segPool[:n-1]
+		return s[:0]
+	}
+	return make([]mem.PhysBuffer, 0, 16)
+}
+
+// PutSegs returns a slice obtained from GetSegs to the pool.
+func (h *Host) PutSegs(s []mem.PhysBuffer) {
+	h.segPool = append(h.segPool, s)
 }
 
 // CPUWriteData writes data to physical address pa through the cache,

@@ -46,6 +46,7 @@ type Memory struct {
 	free     []Frame
 	rng      *rand.Rand
 	scramble bool
+	inFree   []bool // scratch for AllocContiguous's free-run scan
 }
 
 // Config configures a Memory.
@@ -126,13 +127,19 @@ func (m *Memory) AllocContiguous(n int) ([]Frame, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mem: AllocContiguous(%d)", n)
 	}
-	inFree := make([]bool, m.Pages())
+	if m.inFree == nil {
+		m.inFree = make([]bool, m.Pages())
+	} else {
+		for i := range m.inFree {
+			m.inFree[i] = false
+		}
+	}
 	for _, f := range m.free {
-		inFree[f] = true
+		m.inFree[f] = true
 	}
 	run := 0
 	for i := 0; i < m.Pages(); i++ {
-		if inFree[i] {
+		if m.inFree[i] {
 			run++
 		} else {
 			run = 0
@@ -143,7 +150,7 @@ func (m *Memory) AllocContiguous(n int) ([]Frame, error) {
 			for j := 0; j < n; j++ {
 				frames[j] = Frame(start + j)
 			}
-			m.removeFromFree(frames)
+			m.removeRun(Frame(start), n)
 			for _, f := range frames {
 				m.owned[f] = true
 			}
@@ -153,14 +160,13 @@ func (m *Memory) AllocContiguous(n int) ([]Frame, error) {
 	return nil, fmt.Errorf("mem: no run of %d contiguous free frames", n)
 }
 
-func (m *Memory) removeFromFree(frames []Frame) {
-	take := make(map[Frame]bool, len(frames))
-	for _, f := range frames {
-		take[f] = true
-	}
+// removeRun drops the contiguous frames [start, start+n) from the free
+// list, preserving the order of the survivors.
+func (m *Memory) removeRun(start Frame, n int) {
+	end := start + Frame(n)
 	kept := m.free[:0]
 	for _, f := range m.free {
-		if !take[f] {
+		if f < start || f >= end {
 			kept = append(kept, f)
 		}
 	}

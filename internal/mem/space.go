@@ -158,7 +158,8 @@ func (s *AddressSpace) Free(va VirtAddr, n int) error {
 // ReadVirt copies n bytes starting at virtual address va, following the
 // page table across page boundaries.
 func (s *AddressSpace) ReadVirt(va VirtAddr, n int) ([]byte, error) {
-	out := make([]byte, 0, n)
+	out := make([]byte, n)
+	off := 0
 	for n > 0 {
 		pa, err := s.Translate(va)
 		if err != nil {
@@ -168,7 +169,8 @@ func (s *AddressSpace) ReadVirt(va VirtAddr, n int) ([]byte, error) {
 		if chunk > n {
 			chunk = n
 		}
-		out = append(out, s.mem.Read(pa, chunk)...)
+		s.mem.ReadInto(pa, out[off:off+chunk])
+		off += chunk
 		va += VirtAddr(chunk)
 		n -= chunk
 	}
@@ -201,7 +203,13 @@ func (s *AddressSpace) WriteVirt(va VirtAddr, src []byte) error {
 // its output length is the "number of physical buffers" the paper's
 // §2.2 analysis counts.
 func (s *AddressSpace) PhysSegments(va VirtAddr, n int) ([]PhysBuffer, error) {
-	var segs []PhysBuffer
+	return s.AppendPhysSegments(nil, va, n)
+}
+
+// AppendPhysSegments is PhysSegments appending to segs (merging with its
+// final entry when the physical addresses abut), so per-PDU hot paths can
+// reuse a scratch slice instead of allocating a fresh one per call.
+func (s *AddressSpace) AppendPhysSegments(segs []PhysBuffer, va VirtAddr, n int) ([]PhysBuffer, error) {
 	for n > 0 {
 		pa, err := s.Translate(va)
 		if err != nil {

@@ -26,13 +26,30 @@ type Fragment struct {
 // Message is a sequence of fragments. The zero value is an empty message.
 // Operations return new Message values sharing the underlying memory;
 // the bytes themselves are never copied by message manipulation.
+//
+// Messages must not be copied by value: short fragment lists live in the
+// inline array, so a copy would alias the original's storage.
 type Message struct {
-	frags []Fragment
+	frags  []Fragment
+	inline [4]Fragment // in-struct storage for short fragment lists
+}
+
+// newMessage returns an empty message whose fragment list has room for n
+// entries — in the struct itself when n fits the inline array, so the
+// typical header+data chain costs a single allocation.
+func newMessage(n int) *Message {
+	m := &Message{}
+	if n <= len(m.inline) {
+		m.frags = m.inline[:0]
+	} else {
+		m.frags = make([]Fragment, 0, n)
+	}
+	return m
 }
 
 // New builds a message from fragments (empty fragments are dropped).
 func New(frags ...Fragment) *Message {
-	m := &Message{}
+	m := newMessage(len(frags))
 	for _, f := range frags {
 		if f.Len > 0 {
 			m.frags = append(m.frags, f)
@@ -140,7 +157,7 @@ func (m *Message) Prepend(f Fragment) *Message {
 	if f.Len == 0 {
 		return m
 	}
-	out := &Message{frags: make([]Fragment, 0, len(m.frags)+1)}
+	out := newMessage(len(m.frags) + 1)
 	out.frags = append(out.frags, f)
 	out.frags = append(out.frags, m.frags...)
 	return out
@@ -148,7 +165,7 @@ func (m *Message) Prepend(f Fragment) *Message {
 
 // Append returns the concatenation m ++ other.
 func (m *Message) Append(other *Message) *Message {
-	out := &Message{frags: make([]Fragment, 0, len(m.frags)+len(other.frags))}
+	out := newMessage(len(m.frags) + len(other.frags))
 	out.frags = append(out.frags, m.frags...)
 	out.frags = append(out.frags, other.frags...)
 	return out
@@ -160,8 +177,12 @@ func (m *Message) Split(n int) (head, tail *Message, err error) {
 	if n < 0 || n > m.Len() {
 		return nil, nil, fmt.Errorf("msg: split at %d of %d-byte message", n, m.Len())
 	}
-	head = &Message{}
-	tail = &Message{}
+	// Count the fragments on each side of the cut so both slices are
+	// allocated exactly once at final size (splitting runs per PDU on
+	// the protocol hot path).
+	nh, nt := m.splitCounts(n)
+	head = newMessage(nh)
+	tail = newMessage(nt)
 	remaining := n
 	for _, f := range m.frags {
 		switch {
@@ -179,11 +200,48 @@ func (m *Message) Split(n int) (head, tail *Message, err error) {
 	return head, tail, nil
 }
 
+// splitCounts returns how many fragments a Split(n) would place in the
+// head and the tail (a fragment straddling the cut counts on both).
+func (m *Message) splitCounts(n int) (nh, nt int) {
+	remaining := n
+	for _, f := range m.frags {
+		switch {
+		case remaining >= f.Len:
+			nh++
+			remaining -= f.Len
+		case remaining > 0:
+			nh++
+			nt++
+			remaining = 0
+		default:
+			nt++
+		}
+	}
+	return nh, nt
+}
+
 // TrimPrefix returns the message with its first n bytes removed — the
-// x-kernel header strip operation.
+// x-kernel header strip operation. Unlike Split it never materializes
+// the discarded head.
 func (m *Message) TrimPrefix(n int) (*Message, error) {
-	_, tail, err := m.Split(n)
-	return tail, err
+	if n < 0 || n > m.Len() {
+		return nil, fmt.Errorf("msg: split at %d of %d-byte message", n, m.Len())
+	}
+	_, nt := m.splitCounts(n)
+	tail := newMessage(nt)
+	remaining := n
+	for _, f := range m.frags {
+		switch {
+		case remaining >= f.Len:
+			remaining -= f.Len
+		case remaining > 0:
+			tail.frags = append(tail.frags, Fragment{Space: f.Space, VA: f.VA + mem.VirtAddr(remaining), Len: f.Len - remaining})
+			remaining = 0
+		default:
+			tail.frags = append(tail.frags, f)
+		}
+	}
+	return tail, nil
 }
 
 // Bytes gathers the full message contents (copying; used by test
@@ -205,18 +263,20 @@ func (m *Message) Bytes() ([]byte, error) {
 // the physical addresses happen to abut. Its length is the descriptor
 // count the driver must process for this PDU (§2.2).
 func (m *Message) PhysSegments() ([]mem.PhysBuffer, error) {
-	var segs []mem.PhysBuffer
+	return m.AppendPhysSegments(nil)
+}
+
+// AppendPhysSegments is PhysSegments appending into segs, so per-PDU hot
+// paths can reuse a scratch slice across calls. Merging across fragment
+// boundaries happens exactly as in PhysSegments: the space-level append
+// coalesces each new chunk with the previous segment when the physical
+// addresses abut.
+func (m *Message) AppendPhysSegments(segs []mem.PhysBuffer) ([]mem.PhysBuffer, error) {
+	var err error
 	for _, f := range m.frags {
-		fs, err := f.Space.PhysSegments(f.VA, f.Len)
+		segs, err = f.Space.AppendPhysSegments(segs, f.VA, f.Len)
 		if err != nil {
 			return nil, err
-		}
-		for _, s := range fs {
-			if len(segs) > 0 && segs[len(segs)-1].End() == s.Addr {
-				segs[len(segs)-1].Len += s.Len
-			} else {
-				segs = append(segs, s)
-			}
 		}
 	}
 	return segs, nil

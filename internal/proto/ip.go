@@ -175,9 +175,13 @@ func (s *ipSession) PushDone(p *sim.Proc, m *msg.Message, done func(p *sim.Proc)
 		}
 		var frag *msg.Message
 		var err error
-		frag, rest, err = rest.Split(take)
-		if err != nil {
-			return err
+		if take == rest.Len() {
+			frag = rest // final fragment: no need to carve an empty tail
+		} else {
+			frag, rest, err = rest.Split(take)
+			if err != nil {
+				return err
+			}
 		}
 		mf := off+take < total
 		outstanding++
@@ -351,15 +355,33 @@ func (s *ipSession) dropPartial(p *sim.Proc, ident uint32, part *ipPartial) {
 // cache, paying touch and miss costs — and observing stale lines, if
 // any, exactly as the CPU would.
 func readThroughCache(p *sim.Proc, h *hostsim.Host, m *msg.Message, n int) ([]byte, error) {
-	head, _, err := m.Split(n)
-	if err != nil {
-		return nil, err
+	if n < 0 || n > m.Len() {
+		return nil, fmt.Errorf("proto: read %d of %d-byte message", n, m.Len())
 	}
-	segs, err := head.PhysSegments()
-	if err != nil {
-		return nil, err
+	// Walk the first n bytes fragment by fragment instead of materializing
+	// a head message; the shared append slice merges abutting physical
+	// runs exactly as Split-then-PhysSegments did.
+	segs := h.GetSegs()
+	var err error
+	remaining := n
+	for _, f := range m.Fragments() {
+		if remaining == 0 {
+			break
+		}
+		l := f.Len
+		if l > remaining {
+			l = remaining
+		}
+		segs, err = f.Space.AppendPhysSegments(segs, f.VA, l)
+		if err != nil {
+			h.PutSegs(segs)
+			return nil, err
+		}
+		remaining -= l
 	}
-	return h.CPUReadData(p, segs), nil
+	out := h.CPUReadData(p, segs)
+	h.PutSegs(segs)
+	return out, nil
 }
 
 // writeThroughCache writes data at va via the (write-through) cache so

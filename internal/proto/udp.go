@@ -85,11 +85,13 @@ func (s *udpSession) Push(p *sim.Proc, m *msg.Message) error {
 	s.u.host.Compute(p, udpCost(s.u.host.Prof.ProtoSendPerPDU))
 	var sum uint16
 	if s.addr.Checksum {
-		segs, err := m.PhysSegments()
+		segs, err := m.AppendPhysSegments(s.u.host.GetSegs())
 		if err != nil {
+			s.u.host.PutSegs(segs)
 			return err
 		}
 		sum = s.u.host.Checksum(p, segs)
+		s.u.host.PutSegs(segs)
 		if sum == 0 {
 			sum = 0xFFFF // 0 means "no checksum", per UDP convention
 		}
@@ -142,7 +144,8 @@ func (s *udpSession) demux(p *sim.Proc, m *msg.Message) {
 		return
 	}
 	if s.addr.Checksum && wantSum != 0 {
-		segs, err := payload.PhysSegments()
+		segs, err := payload.AppendPhysSegments(s.u.host.GetSegs())
+		defer s.u.host.PutSegs(segs)
 		if err != nil {
 			s.u.stats.Dropped++
 			return
