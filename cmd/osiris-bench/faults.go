@@ -33,6 +33,9 @@ func runFaults() {
 		DupProb:     0.0005,
 		Seed:        *flagFaultsSeed,
 		Workers:     workers(),
+		// Side-by-side recovery comparison: every rate reruns over the
+		// adaptive transport with the same seed and fault stream.
+		AdaptiveColumn: true,
 	}
 	if *flagQuick {
 		cfg.Rates = []float64{0, 0.001, 0.01, 0.05}
@@ -85,6 +88,33 @@ func runFaults() {
 		)
 	}
 	fmt.Println(tab.Render())
+
+	// Recovery comparison: fixed 2 ms timer with exponential backoff vs
+	// the RTT-estimated adaptive timer, same seeds and fault streams.
+	atab := stats.Table{
+		Title: "fixed-timer vs adaptive (RTT-estimated) recovery",
+		Cols: []string{
+			"loss", "fixed goodput", "fixed retx", "fixed TO",
+			"adaptive goodput", "adaptive retx", "adaptive TO", "fast retx", "rtt samples",
+		},
+	}
+	for _, pt := range res.Points {
+		if pt.Adaptive == nil {
+			continue
+		}
+		atab.AddRow(
+			fmt.Sprintf("%.3f", pt.MeanLoss),
+			fmt.Sprintf("%.1f", pt.GoodputMbps),
+			fmt.Sprint(pt.Retransmits),
+			fmt.Sprint(pt.Timeouts),
+			fmt.Sprintf("%.1f", pt.Adaptive.GoodputMbps),
+			fmt.Sprint(pt.Adaptive.Retransmits),
+			fmt.Sprint(pt.Adaptive.Timeouts),
+			fmt.Sprint(pt.Adaptive.FastRetx),
+			fmt.Sprint(pt.Adaptive.RTTSamples),
+		)
+	}
+	fmt.Println(atab.Render())
 	fmt.Println("every delivery is verified byte for byte; loss surfaces as retransmission effort, never corruption")
 
 	// No reportHeader here: this artifact must be byte-identical run to

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parexp"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var (
+	flagIncast    = flag.Bool("incast", false, "incast plane: adaptive vs legacy RDP under 8:1 fan-in (collapse smoke + goodput-vs-offered-load curve)")
+	flagIncastOut = flag.String("incastout", "BENCH_incast.json", "output path for the incast JSON report")
+)
+
+func init() { extraSections = append(extraSections, runIncast) }
+
+// incastScenario names one (workload, fabric, transport) combination of
+// the incast plane, together with its full result. The report is a
+// fixed function of the configuration — no wall-clock timestamps — so
+// CI can diff it across worker counts, shard counts, and fabric modes.
+type incastScenario struct {
+	Name          string             `json:"name"`
+	Adaptive      bool               `json:"adaptive"`
+	Clients       int                `json:"clients"`
+	MessageBytes  int                `json:"message_bytes"`
+	Messages      int                `json:"messages"`
+	GapNS         int64              `json:"gap_ns"`
+	QueueCells    int                `json:"queue_cells"`
+	MarkThreshold int                `json:"mark_threshold"`
+	Result        *core.IncastResult `json:"result"`
+}
+
+// incastGaps is the pacing grid of the goodput-vs-offered-load curve:
+// gap 0 is the unpaced collapse regime, the rest walk the offered load
+// down through the knee.
+func incastGaps() []time.Duration {
+	if *flagQuick {
+		return []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond}
+	}
+	return []time.Duration{
+		0,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+	}
+}
+
+// runIncast drives the reliable-transport incast plane in two regimes.
+//
+// Collapse smoke: the unpaced 8×16 KB fan-in through the default
+// 256-cell switch queue — the workload that collapses the unreliable
+// stack (examples/fanin-server) and starves the legacy fixed-timer RDP.
+// The adaptive transport must deliver every message; anything less
+// exits nonzero, which is the CI gate.
+//
+// Curve: 4 KB messages through a deeper (1024-cell) queue with ECN
+// marking at 128, swept over pacing gaps, adaptive vs legacy — the
+// goodput-vs-offered-load table showing no collapse past the knee.
+func runIncast() {
+	if !(*flagIncast || *flagAll) {
+		return
+	}
+
+	type spec struct {
+		name          string
+		adaptive      bool
+		w             workload.FanIn
+		queueCells    int
+		markThreshold int
+	}
+	var specs []spec
+
+	collapse := workload.DefaultFanIn()
+	collapse.Gap = 0
+	collapse.Stagger = 0
+	for _, ad := range []bool{true, false} {
+		specs = append(specs, spec{
+			name:          fmt.Sprintf("incast/collapse/%s", transportName(ad)),
+			adaptive:      ad,
+			w:             collapse,
+			queueCells:    0, // default 256
+			markThreshold: 64,
+		})
+	}
+
+	curve := workload.FanIn{Clients: 8, MessageBytes: 4096, Messages: 32}
+	if *flagQuick {
+		curve.Messages = 16
+	}
+	for _, gap := range incastGaps() {
+		for _, ad := range []bool{true, false} {
+			w := curve
+			w.Gap = gap
+			specs = append(specs, spec{
+				name:          fmt.Sprintf("incast/curve/%s/gap=%s", transportName(ad), gap),
+				adaptive:      ad,
+				w:             w,
+				queueCells:    1024,
+				markThreshold: 128,
+			})
+		}
+	}
+
+	var jobs []parexp.Job
+	for _, sp := range specs {
+		sp := sp
+		jobs = append(jobs, parexp.Job{
+			Name: sp.name,
+			Seed: core.DefaultSeed,
+			// The unpaced points churn the longest; start them first.
+			Cost: float64(sp.w.MessageBytes) / float64(1+sp.w.Gap),
+			Run: func() (any, error) {
+				opt := core.Options{
+					Shards:              *flagShards,
+					PerCellFabric:       *flagPerCell,
+					FabricQueueCells:    sp.queueCells,
+					FabricMarkThreshold: sp.markThreshold,
+				}
+				return core.RunIncastRDP(opt, core.IncastRDP{Workload: sp.w, Adaptive: sp.adaptive})
+			},
+		})
+	}
+	jobs = selected(jobs)
+	if len(jobs) == 0 {
+		return
+	}
+
+	fmt.Println("== Incast plane: reliable fan-in, adaptive vs legacy RDP ==")
+	byName := map[string]*core.IncastResult{}
+	for _, r := range runJobs(jobs) {
+		if r.Err != nil {
+			os.Exit(1)
+		}
+		byName[r.Name] = r.Value.(*core.IncastResult)
+	}
+
+	var report struct {
+		Schema    string           `json:"schema"`
+		Scenarios []incastScenario `json:"scenarios"`
+	}
+	report.Schema = "osiris-incast/1"
+	for _, sp := range specs {
+		res, ok := byName[sp.name]
+		if !ok {
+			continue
+		}
+		qc := sp.queueCells
+		if qc == 0 {
+			qc = 256
+		}
+		report.Scenarios = append(report.Scenarios, incastScenario{
+			Name:          sp.name,
+			Adaptive:      sp.adaptive,
+			Clients:       sp.w.Clients,
+			MessageBytes:  sp.w.MessageBytes,
+			Messages:      sp.w.Messages,
+			GapNS:         int64(sp.w.Gap),
+			QueueCells:    qc,
+			MarkThreshold: sp.markThreshold,
+			Result:        res,
+		})
+	}
+
+	// Collapse smoke: the headline claim, rendered and enforced.
+	ctab := stats.Table{
+		Title: fmt.Sprintf("unpaced %d×%dKB collapse (256-cell queue)", collapse.Clients, collapse.MessageBytes/1024),
+		Cols:  []string{"transport", "delivered", "shortfall", "goodput Mbps", "retx", "timeouts", "switch drops"},
+	}
+	smokeFailed := false
+	for _, ad := range []bool{true, false} {
+		res := byName[fmt.Sprintf("incast/collapse/%s", transportName(ad))]
+		if res == nil {
+			continue
+		}
+		ctab.AddRow(transportName(ad),
+			fmt.Sprintf("%d/%d", res.Delivered, res.Sent),
+			fmt.Sprint(res.Shortfall),
+			fmt.Sprintf("%.1f", res.GoodputMbps),
+			fmt.Sprint(res.Retransmits),
+			fmt.Sprint(res.Timeouts),
+			fmt.Sprint(res.SwitchDropped))
+		if ad && !res.Lossless() {
+			smokeFailed = true
+		}
+	}
+	fmt.Println(ctab.Render())
+
+	// Goodput-vs-offered-load: the no-collapse-past-the-knee table.
+	ktab := stats.Table{
+		Title: "goodput vs offered load, 8×4KB (1024-cell queue, ECN mark at 128)",
+		Cols: []string{
+			"gap", "offered Mbps", "adaptive Mbps", "adaptive short",
+			"legacy Mbps", "legacy short", "ECN echo", "ECN backoff", "drops",
+		},
+	}
+	for _, gap := range incastGaps() {
+		a := byName[fmt.Sprintf("incast/curve/adaptive/gap=%s", gap)]
+		l := byName[fmt.Sprintf("incast/curve/legacy/gap=%s", gap)]
+		if a == nil && l == nil {
+			continue
+		}
+		row := []string{fmt.Sprint(gap), "?", "?", "?", "?", "?", "?", "?", "?"}
+		if a != nil {
+			row[1] = fmt.Sprintf("%.1f", a.OfferedMbps)
+			row[2] = fmt.Sprintf("%.1f", a.GoodputMbps)
+			row[3] = fmt.Sprint(a.Shortfall)
+			row[6] = fmt.Sprint(a.EcnEchoed)
+			row[7] = fmt.Sprint(a.EcnBackoffs)
+			row[8] = fmt.Sprint(a.SwitchDropped)
+		}
+		if l != nil {
+			row[4] = fmt.Sprintf("%.1f", l.GoodputMbps)
+			row[5] = fmt.Sprint(l.Shortfall)
+		}
+		ktab.AddRow(row...)
+	}
+	fmt.Println(ktab.Render())
+	fmt.Println("every delivery is verified byte for byte at the server; shortfall counts messages the horizon expired on")
+
+	// No reportHeader: the artifact must be byte-identical run to run
+	// (CI diffs it across shard counts and fabric modes), so it carries
+	// no timestamp.
+	writeReport("incast", *flagIncastOut, report)
+
+	if smokeFailed {
+		fmt.Fprintln(os.Stderr, "incast: adaptive transport failed the unpaced lossless bar")
+		os.Exit(1)
+	}
+}
+
+func transportName(adaptive bool) string {
+	if adaptive {
+		return "adaptive"
+	}
+	return "legacy"
+}

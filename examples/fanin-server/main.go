@@ -85,6 +85,18 @@ func main() {
 	}
 	fmt.Printf("overload (no pacing: %d × 622 Mbps into one 622 Mbps port)\n", w.Clients)
 	fmt.Printf("  delivered: %d/%d messages, goodput %.1f Mbps\n", over.Delivered, over.Sent, over.AggregateMbps)
+	if over.Shortfall > 0 {
+		// The whole point of the overload regime: UDP incast loss is not
+		// an aggregate rounding error, it is specific clients' messages
+		// gone for good. Name the victims.
+		fmt.Printf("  SHORTFALL: %d messages never arrived —", over.Shortfall)
+		for _, c := range over.Clients {
+			if c.Shortfall > 0 {
+				fmt.Printf(" client%d:%d", c.Client, c.Shortfall)
+			}
+		}
+		fmt.Printf("\n  (unreliable transport: lost PDUs stay lost; `osiris-bench -incast` runs the same pattern over adaptive RDP)\n")
+	}
 	fmt.Printf("  switch cells: %d forwarded, %d dropped at the output queue\n", over.SwitchForwarded, over.SwitchDropped)
 	fmt.Printf("  corrupt deliveries: %d (loss surfaces as missing PDUs, never damaged ones)\n\n", over.Corrupt)
 

@@ -43,6 +43,12 @@ type Cell struct {
 	// framing bit in the ATM header" of §2.6, needed so PDUs shorter
 	// than the stripe width still terminate.
 	Last bool
+	// CE is the congestion-experienced mark (the ATM EFCI bit, the
+	// moral ancestor of IP ECN): a switch output port sets it when the
+	// cell entered a queue whose occupancy had crossed the configured
+	// mark threshold. The receiving transport echoes it back so senders
+	// reduce their window before the queue reaches tail drop.
+	CE bool
 	// Seq is the cell's index within its PDU, used only by the
 	// sequence-number reassembly strategy (§2.6 strategy one).
 	Seq uint32

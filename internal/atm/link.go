@@ -134,11 +134,15 @@ type LinkStats struct {
 // push instant, but a virtual sender (SendScheduled) may push a cell
 // whose accept lies in the future, and the walker must not claim the
 // delivery event before a real sender would have scheduled it.
+// schedAt/seq are the cell's canonical delivery stamp, filled only on
+// stamped links (Link.xid != 0); see the stamped-link comment on Link.
 type linkCell struct {
 	c        Cell
 	serStart sim.Time
 	deliver  sim.Time
 	accept   sim.Time
+	schedAt  sim.Time
+	seq      uint64
 }
 
 // Link is one unidirectional physical link. Cells submitted with Send
@@ -174,6 +178,28 @@ type Link struct {
 	slotArmed   bool
 	armPending  bool // arm event scheduled at the next accept instant
 	notFull     *sim.Cond
+
+	// Stamped mode (xid != 0, local deterministic links only): delivery
+	// events carry an explicit canonical stamp (schedAt, xid, seq) via
+	// InjectStamped instead of the engine's implicit scheduling stamp.
+	//
+	// Why: at a tied delivery instant the engine orders events by
+	// (at, schedAt, xid, seq). Implicitly stamped local events tie-break
+	// by global scheduling order (xid 0, engine seq), which depends on
+	// how the topology is partitioned; cross-shard events tie-break by
+	// their channel id. A workload that drives many symmetric senders
+	// into one switch port — fan-in incast is the canonical case — ties
+	// constantly (senders re-phase-lock on the shared egress
+	// serialization grid even when started staggered), so the serial and
+	// sharded runs diverge. Stamping local links with the same
+	// construction-order channel ids the cross-shard path uses makes the
+	// tie-break a pure function of the topology: byte-identical behavior
+	// at any shard count. The stamp mimics the serial machine exactly
+	// (schedAt = max(accept, previous delivery), per-link monotone seq),
+	// so a stamped link in isolation times identically to an unstamped
+	// one; only tie ORDER against other links is pinned.
+	xid  uint64
+	lseq uint64 // per-link stamp counter (monotone, matches xlink.xseq)
 
 	// Cross-shard half (nil for a link local to one engine). See xlink.go.
 	x *xlink
@@ -265,6 +291,8 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 		// itself travels through the cross-shard buffer.
 		l.push(linkCell{serStart: serStart, deliver: at, accept: now})
 		l.sendRemote(c, at, prevLast)
+	} else if l.xid != 0 {
+		l.pushStamped(c, serStart, at, now, prevLast)
 	} else {
 		l.push(linkCell{c: c, serStart: serStart, deliver: at, accept: now})
 		if !l.walkerArmed && !l.armPending {
@@ -274,6 +302,26 @@ func (l *Link) Send(p *sim.Proc, c Cell) {
 	}
 	if l.notFull.Waiting() > 0 {
 		l.armSlotWake()
+	}
+}
+
+// pushStamped is the stamped-local Send/SendScheduled tail: push the
+// cell with its canonical stamp (the same schedAt mimicry sendRemote
+// performs) and make sure a stamped walker event is pending. The
+// walker invariant in stamped mode is simple — armed iff the train is
+// non-empty — because the stamp is explicit, so arming never has to
+// wait for the accept instant the way the implicit machine does.
+func (l *Link) pushStamped(c Cell, serStart, at, accept, prevLast sim.Time) {
+	schedAt := accept
+	if prevLast > schedAt {
+		schedAt = prevLast
+	}
+	l.lseq++
+	l.push(linkCell{c: c, serStart: serStart, deliver: at, accept: accept, schedAt: schedAt, seq: l.lseq})
+	if !l.walkerArmed {
+		l.walkerArmed = true
+		head := l.at(0)
+		l.eng.InjectStamped(head.deliver, head.schedAt, l.xid, head.seq, linkDeliverCB, l)
 	}
 }
 
@@ -312,6 +360,10 @@ func (l *Link) SendScheduled(t sim.Time, c Cell) sim.Time {
 	if l.x != nil {
 		l.push(linkCell{serStart: serStart, deliver: at, accept: u})
 		l.sendRemoteAt(c, at, prevLast, u)
+		return u
+	}
+	if l.xid != 0 {
+		l.pushStamped(c, serStart, at, u, prevLast)
 		return u
 	}
 	l.push(linkCell{c: c, serStart: serStart, deliver: at, accept: u})
@@ -416,7 +468,13 @@ func linkDeliverCB(a any) {
 		l.deliver(e.c, l.cfg.Index)
 	}
 	if l.count > 0 {
-		if nxt := l.at(0); nxt.accept > l.eng.Now() {
+		nxt := l.at(0)
+		if l.xid != 0 {
+			// Stamped mode: the canonical stamp is explicit, so re-arm
+			// directly with the next cell's own stamp (the accept-instant
+			// deferral below exists only to make the implicit stamp right).
+			l.eng.InjectStamped(nxt.deliver, nxt.schedAt, l.xid, nxt.seq, linkDeliverCB, l)
+		} else if nxt.accept > l.eng.Now() {
 			l.walkerArmed = false
 			l.armPending = true
 			l.eng.AtCall(nxt.accept, linkArmCB, l)

@@ -31,6 +31,14 @@ type SwitchConfig struct {
 	// modelling a flaky fabric element rather than a flaky link. The
 	// per-lane link fault plane is configured on Link.Fault instead.
 	Fault *fault.Config
+	// MarkThreshold enables ECN-style congestion marking: when a cell
+	// enters an output queue whose occupancy (cells ahead of it) is at
+	// least this threshold, the switch sets the cell's CE bit and counts
+	// it in the port's Marked statistic. Zero disables marking (the
+	// default — legacy behavior). The train-forwarding fast path and the
+	// per-cell fallback mark identically; the differential fuzz oracle
+	// pins this.
+	MarkThreshold int
 	// PerCellFabric forces every output port onto the per-cell
 	// queue/arbiter machine even when the train-forwarding fast path
 	// would apply. The two machines produce byte-identical results; the
@@ -56,6 +64,7 @@ type SwitchPortStats struct {
 	NoRoute   int64 // input cells discarded for lack of a VCI route
 	Forwarded int64 // cells transmitted on this port's egress lanes
 	Dropped   int64 // cells dropped on egress-queue overflow
+	Marked    int64 // cells CE-marked on entry past MarkThreshold occupancy
 	HighWater int64 // maximum egress-queue occupancy observed (cells)
 }
 
@@ -99,6 +108,14 @@ type vPoint struct {
 type SwitchPort struct {
 	index int
 	eng   *sim.Engine
+	// now is the quiesced-clock source for snapshot settling (Stats,
+	// QueueLen): the engine clock for a serial fabric, the shard group's
+	// latest clock for a sharded one. The distinction matters at a
+	// horizon cut — the fabric engine's own clock stops at its last
+	// executed event, which in a sharded run can lag the global quiesce
+	// instant, and settling short would credit fewer in-flight forwards
+	// than the serial run counts.
+	now   func() sim.Time
 	comp  string // trace track label, precomputed (Emit stays alloc-free)
 	in    *StripeGroup
 	out   *StripeGroup
@@ -142,7 +159,7 @@ func (pt *SwitchPort) Stats() SwitchPortStats {
 		// Credit every virtual forward whose accept instant has passed:
 		// the per-cell machine counts Forwarded when the arbiter's Send
 		// returns, so a horizon-cut run must not count the in-flight tail.
-		pt.settle(pt.eng.Now(), true)
+		pt.settle(pt.now(), true)
 	}
 	return pt.stats
 }
@@ -158,7 +175,7 @@ func (pt *SwitchPort) Injector() *fault.Injector { return pt.inj }
 // at the same quiesced instant.
 func (pt *SwitchPort) QueueLen() int {
 	if pt.vMode == vModeTrain {
-		pt.settle(pt.eng.Now(), true)
+		pt.settle(pt.now(), true)
 		return pt.vqLen - pt.vqPop
 	}
 	return pt.queue.Len()
@@ -190,6 +207,7 @@ type SwitchStats struct {
 	NoRoute   int64
 	Forwarded int64
 	Dropped   int64
+	Marked    int64
 	HighWater int64
 }
 
@@ -209,6 +227,24 @@ type Switch struct {
 	cfg    SwitchConfig
 	ports  []*SwitchPort
 	routes map[VCI]int
+	// inRoutes is the per-input-port route table (RouteFrom), consulted
+	// before the wildcard table — real VCI switching is per (input port,
+	// VCI), which is what lets one VCI carry a bidirectional connection:
+	// data one way and acknowledgements the other, each leg routed by
+	// where the cell came from. Lazily allocated; nil costs the hot
+	// forwarding path nothing.
+	inRoutes map[inPortVCI]int
+	// linkXID numbers the switch's links for the canonical tie-break
+	// when the fabric has no shard group (serial run); it mirrors the
+	// ShardGroup.NextXID sequence, so a link gets the same channel id at
+	// any shard count.
+	linkXID uint64
+}
+
+// inPortVCI keys the per-input-port route table.
+type inPortVCI struct {
+	in int
+	v  VCI
 }
 
 // NewSwitch creates a switch with nports ports and starts one egress
@@ -251,13 +287,37 @@ func newSwitch(g *sim.ShardGroup, e *sim.Engine, nodeEng []*sim.Engine, nports i
 		pt := &SwitchPort{
 			index: i,
 			eng:   e,
+			now:   e.Now,
 			comp:  fmt.Sprintf("sw-port%d", i),
 			queue: sim.NewChan[laneCell](e, cfg.QueueCells),
 			inj:   fault.New(e, fmt.Sprintf("sw/port%d", i), cfg.Fault),
 		}
+		if g != nil {
+			pt.now = g.Now
+		}
 		if far == e {
 			pt.in = NewStripeGroup(e, cfg.Width, inCfg)
 			pt.out = NewStripeGroup(e, cfg.Width, outCfg)
+			// Stamp the local links with the channel ids the cross-shard
+			// constructor would have assigned (same construction order:
+			// ingress lanes then egress lanes, port by port). Delivery
+			// tie-break order among the fabric's links is then a function
+			// of the topology alone — a serial run, a sharded run, and a
+			// run where this port happens to share the fabric's shard all
+			// order same-instant cells from different links identically.
+			// Without this, symmetric fan-in workloads (whose senders
+			// phase-lock on the egress serialization grid) diverge across
+			// shard counts.
+			for _, grp := range [...]*StripeGroup{pt.in, pt.out} {
+				for _, l := range grp.links {
+					if g != nil {
+						l.xid = g.NextXID()
+					} else {
+						sw.linkXID++
+						l.xid = sw.linkXID
+					}
+				}
+			}
 		} else {
 			// Ingress carries node → switch, egress switch → node. The
 			// node's board paces sends on its own shard; deliveries into
@@ -300,8 +360,35 @@ func (sw *Switch) Route(v VCI, port int) error {
 	return nil
 }
 
+// RouteFrom installs (in, v) → out: cells carrying VCI v that arrive on
+// input port in are forwarded to out, overriding any wildcard Route for
+// v. Like Route, re-registering an installed (in, v) pair is an error.
+// Per-input routes are what a bidirectional connection on a single VCI
+// needs: RouteFrom(a, v, b) plus RouteFrom(b, v, a) carries data one
+// way and acknowledgements the other.
+func (sw *Switch) RouteFrom(in int, v VCI, out int) error {
+	if in < 0 || in >= len(sw.ports) {
+		return fmt.Errorf("atm: route from port %d out of range [0,%d)", in, len(sw.ports))
+	}
+	if out < 0 || out >= len(sw.ports) {
+		return fmt.Errorf("atm: route %d → port %d out of range [0,%d)", v, out, len(sw.ports))
+	}
+	if sw.inRoutes == nil {
+		sw.inRoutes = make(map[inPortVCI]int)
+	}
+	key := inPortVCI{in, v}
+	if prev, ok := sw.inRoutes[key]; ok {
+		return fmt.Errorf("atm: VCI %d from port %d already routed to port %d", v, in, prev)
+	}
+	sw.inRoutes[key] = out
+	return nil
+}
+
 // Unroute removes v's route. Removing an unrouted VCI is a no-op.
 func (sw *Switch) Unroute(v VCI) { delete(sw.routes, v) }
+
+// UnrouteFrom removes the per-input route (in, v), if any.
+func (sw *Switch) UnrouteFrom(in int, v VCI) { delete(sw.inRoutes, inPortVCI{in, v}) }
 
 // RouteOf reports the output port v is routed to.
 func (sw *Switch) RouteOf(v VCI) (port int, ok bool) {
@@ -317,6 +404,11 @@ func (sw *Switch) forward(inPort int, c Cell, lane int) {
 	ip := sw.ports[inPort]
 	ip.stats.In++
 	out, ok := sw.routes[c.VCI]
+	if sw.inRoutes != nil {
+		if o, found := sw.inRoutes[inPortVCI{inPort, c.VCI}]; found {
+			out, ok = o, true
+		}
+	}
 	if !ok {
 		ip.stats.NoRoute++
 		if sw.eng.Tracing() {
@@ -360,6 +452,15 @@ func (sw *Switch) enqueue(op *SwitchPort, lc laneCell) {
 	if op.mQDelay != nil {
 		lc.enq = sw.eng.Now()
 	}
+	// CE decision uses the occupancy ahead of this cell, the same value
+	// the train path derives from its settled cursors; the mark goes on
+	// before TrySend copies the cell in, but is only counted when the
+	// cell is actually accepted (a full queue drops, never marks).
+	marked := false
+	if t := sw.cfg.MarkThreshold; t > 0 && op.queue.Len() >= t {
+		lc.c.CE = true
+		marked = true
+	}
 	if !op.queue.TrySend(lc) {
 		op.stats.Dropped++
 		if sw.eng.Tracing() {
@@ -369,6 +470,9 @@ func (sw *Switch) enqueue(op *SwitchPort, lc laneCell) {
 			sw.eng.Emit(sim.TraceEvent{At: sw.eng.Now(), Ph: 'i', Comp: op.comp, Cat: "drop", Name: "queue-overflow", Arg: int64(lc.c.VCI)})
 		}
 		return
+	}
+	if marked {
+		op.stats.Marked++
 	}
 	if n := int64(op.queue.Len()); n > op.stats.HighWater {
 		op.stats.HighWater = n
@@ -425,6 +529,13 @@ func (sw *Switch) trainForward(op *SwitchPort, c Cell, lane int) {
 		// Tracing/Recording are off in train mode (latch condition), so
 		// the per-cell drop path's trace emissions have no counterpart.
 		return
+	}
+	if t := sw.cfg.MarkThreshold; t > 0 && occ >= t {
+		// Same occupancy value the per-cell machine would see at its
+		// TrySend, so the two fabrics mark the same cells. Mutate before
+		// SendScheduled — the cell travels by value from here on.
+		c.CE = true
+		op.stats.Marked++
 	}
 	pop := op.vBusy
 	if now > pop {
@@ -525,6 +636,7 @@ func (sw *Switch) Stats() SwitchStats {
 		s.NoRoute += ps.NoRoute
 		s.Forwarded += ps.Forwarded
 		s.Dropped += ps.Dropped
+		s.Marked += ps.Marked
 		if ps.HighWater > s.HighWater {
 			s.HighWater = ps.HighWater
 		}
@@ -553,6 +665,12 @@ func (sw *Switch) RegisterMetrics(r *metrics.Registry, prefix string) {
 		r.Sample(p+"/no_route", metrics.KindCounter, func() int64 { return pt.Stats().NoRoute })
 		r.Sample(p+"/forwarded", metrics.KindCounter, func() int64 { return pt.Stats().Forwarded })
 		r.Sample(p+"/dropped", metrics.KindCounter, func() int64 { return pt.Stats().Dropped })
+		if sw.cfg.MarkThreshold > 0 {
+			// Registered only when marking is on, so the committed
+			// BENCH_metrics.json snapshots (taken with marking off) keep
+			// their exact name set.
+			r.Sample(p+"/marked", metrics.KindCounter, func() int64 { return pt.Stats().Marked })
+		}
 		r.Sample(p+"/queue_high_water", metrics.KindHighWater, func() int64 { return pt.Stats().HighWater })
 		pt.mQDelay = r.Quantiles(p+"/queue_delay_us", 0.5, 0.9, 0.99)
 	}

@@ -15,6 +15,7 @@ type fuzzDelivery struct {
 	vci        VCI
 	seq        uint32
 	tag        byte // first payload byte, checked against the sender's pattern
+	ce         bool // ECN mark set by the congested output queue
 	at         sim.Time
 }
 
@@ -28,8 +29,10 @@ func runSwitchSchedule(t *testing.T, data []byte, perCell bool) ([]fuzzDelivery,
 	t.Helper()
 	e := sim.NewEngine(99)
 	defer e.Shutdown()
-	// A tiny output queue so bursts tail-drop mid-PDU, splitting trains.
-	sw := NewSwitch(e, 3, SwitchConfig{QueueCells: 8, PerCellFabric: perCell})
+	// A tiny output queue so bursts tail-drop mid-PDU, splitting trains,
+	// with a mark threshold below it so schedules also exercise the ECN
+	// band between first-mark and tail-drop.
+	sw := NewSwitch(e, 3, SwitchConfig{QueueCells: 8, MarkThreshold: 4, PerCellFabric: perCell})
 	pool := NewPayloadPool()
 
 	// VCI 10 and 11 start routed to ports 1 and 2; route-change ops
@@ -47,7 +50,7 @@ func runSwitchSchedule(t *testing.T, data []byte, perCell bool) ([]fuzzDelivery,
 		sw.Port(port).Egress().SetReceiver(func(c Cell, lane int) {
 			deliveries = append(deliveries, fuzzDelivery{
 				port: port, lane: lane, vci: c.VCI, seq: c.Seq,
-				tag: c.Payload[0], at: e.Now(),
+				tag: c.Payload[0], ce: c.CE, at: e.Now(),
 			})
 		})
 	}
@@ -178,6 +181,22 @@ func FuzzSwitchTrainPool(f *testing.F) {
 		}
 		if int64(len(train)) != fwd {
 			t.Fatalf("delivered %d cells but Forwarded = %d", len(train), fwd)
+		}
+
+		// Every Marked cell was accepted, so at quiesce each one must
+		// have reached a receiver with its CE bit intact — the marks
+		// counter and the delivered-CE count agree exactly.
+		var marked, ceSeen int64
+		for _, st := range trainStats {
+			marked += st.Marked
+		}
+		for _, d := range train {
+			if d.ce {
+				ceSeen++
+			}
+		}
+		if marked != ceSeen {
+			t.Fatalf("Marked = %d but %d delivered cells carry CE", marked, ceSeen)
 		}
 
 		// Per-lane order and payload integrity: the fabric preserves FIFO

@@ -169,6 +169,18 @@ type Config struct {
 	// timeout must be much larger than per-cell processing time;
 	// millisecond scale is typical.
 	ReasmTimeout time.Duration
+	// ReasmResync enables AAL5-style resynchronization after a mid-PDU
+	// framing error: when the loss check aborts a reassembly on a cell
+	// that is not itself a Last cell, the receive processor discards
+	// subsequent cells on that VCI (counted in CellsResync) until the
+	// next Last cell passes, so the abandoned PDU's tail cannot seed a
+	// frame-shifted reassembly. Without it, a single mid-stream abort
+	// under sustained load can wedge a VCI permanently: the orphaned
+	// Last cell opens a bogus one-cell state whose framing bits poison
+	// the loss check for every subsequent PDU, which re-orphans its own
+	// Last cell in turn. Opt-in to keep the seed experiments
+	// bit-identical.
+	ReasmResync bool
 	// CheckCRC verifies the AAL5 trailer CRC over each reassembled PDU
 	// (against a firmware shadow copy of the payload) and drops
 	// corrupted PDUs, counted in PDUsCRCDropped. Opt-in: the calibrated
@@ -240,6 +252,7 @@ type Stats struct {
 	PDUsTimedOut     int64 // reassemblies aborted by the ReasmTimeout sweep
 	PDUsCRCDropped   int64 // completed PDUs rejected by the AAL5 CRC check
 	CellsDuplicate   int64 // duplicate cells rejected (RejectDuplicates)
+	CellsResync      int64 // cells discarded while resyncing after a framing error (ReasmResync)
 	RxAbortMarkers   int64 // abort markers sent to the driver for partial PDUs
 }
 
@@ -263,7 +276,8 @@ type Channel struct {
 	tx        txStream
 	peekAhead int // descs peeked past, awaiting tail advance by the DMA engine
 	reasm     map[atm.VCI]*reasmState
-	stash     []queue.Desc // internally recycled scratch buffers
+	resync    map[atm.VCI]bool // VCIs discarding until the next Last cell (Config.ReasmResync)
+	stash     []queue.Desc     // internally recycled scratch buffers
 }
 
 // Open reports whether the channel has been opened.
@@ -390,9 +404,10 @@ func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
 	b.rxInj = fault.New(e, cfg.Name+"/rx", cfg.RxFault)
 	for i := 0; i < NumChannels; i++ {
 		ch := &Channel{
-			board: b,
-			Index: i,
-			reasm: make(map[atm.VCI]*reasmState),
+			board:  b,
+			Index:  i,
+			reasm:  make(map[atm.VCI]*reasmState),
+			resync: make(map[atm.VCI]bool),
 		}
 		ch.TxRing = queue.NewRing(b.DPM, dpm.TxPageOff(i), cfg.TxRingSlots)
 		rxBase := dpm.RxPageOff(i)
@@ -454,6 +469,11 @@ func (b *Board) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.Sample(prefix+"/pdus_timed_out", metrics.KindCounter, func() int64 { return s.PDUsTimedOut })
 	r.Sample(prefix+"/pdus_crc_dropped", metrics.KindCounter, func() int64 { return s.PDUsCRCDropped })
 	r.Sample(prefix+"/cells_duplicate", metrics.KindCounter, func() int64 { return s.CellsDuplicate })
+	if b.cfg.ReasmResync {
+		// Gated so configurations without resync keep their metric set
+		// (and the committed benchmark artifacts) byte-identical.
+		r.Sample(prefix+"/cells_resync", metrics.KindCounter, func() int64 { return s.CellsResync })
+	}
 	r.Sample(prefix+"/rx_abort_markers", metrics.KindCounter, func() int64 { return s.RxAbortMarkers })
 	r.Sample(prefix+"/reasm_open", metrics.KindGauge, func() int64 { return int64(b.OpenReassemblies()) })
 	r.Sample(prefix+"/reasm_held_bufs", metrics.KindGauge, func() int64 { return int64(b.HeldReasmBufs()) })
@@ -609,8 +629,14 @@ func (b *Board) BindVCI(v atm.VCI, i int) {
 	b.vciMap[v] = b.Channel(i)
 }
 
-// UnbindVCI removes a VCI route.
-func (b *Board) UnbindVCI(v atm.VCI) { delete(b.vciMap, v) }
+// UnbindVCI removes a VCI route, clearing any pending resync state so a
+// later rebinding of the VCI starts with clean framing.
+func (b *Board) UnbindVCI(v atm.VCI) {
+	if ch := b.vciMap[v]; ch != nil {
+		delete(ch.resync, v)
+	}
+	delete(b.vciMap, v)
+}
 
 // KickTx tells the transmit processor that new descriptors may be
 // queued. The real processor discovers this by polling the head

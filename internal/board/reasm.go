@@ -34,7 +34,8 @@ type reasmState struct {
 	eomSeen    []bool // FourAAL5 framing bits observed
 	dropping   bool
 	lastSeen   bool
-	maxWritten int // highest stream offset any cell has reached
+	ce         bool // any ingested cell carried the fabric's CE mark
+	maxWritten int  // highest stream offset any cell has reached
 
 	firstArrival sim.Time // first cell arrival; telemetry's reassembly span
 	lastArrival  sim.Time // last cell arrival; drives Config.ReasmTimeout
@@ -90,6 +91,9 @@ func (rs *reasmState) ingest(strategy ReassemblyStrategy, rc rxCell, width int) 
 	off, ok = rs.wouldPlaceAt(strategy, rc, width)
 	if !ok {
 		return 0, 0, false, false
+	}
+	if rc.c.CE {
+		rs.ce = true
 	}
 	switch strategy {
 	case SeqNum:
@@ -304,6 +308,9 @@ func (rs *reasmState) finalPushes() (pushes []queue.Desc, scratch []queue.Desc) 
 		d.VCI = rs.vci
 		if i == lastDataBuf {
 			d.Flags = queue.FlagEOP
+			if rs.ce {
+				d.Flags |= queue.FlagCE
+			}
 			d.Aux = uint32(rs.pduLen)
 		} else {
 			d.Flags = 0

@@ -25,8 +25,6 @@ type rxCmd struct {
 // header when deciding on a double-cell DMA (§2.5.1).
 const combinePeekCost = 150 * time.Nanosecond
 
-var debugDrops = false
-
 // rxProc is the receive on-board processor: it drains the cell FIFO,
 // demultiplexes by VCI (the early demultiplexing decision fbufs and ADCs
 // rely on, §3.1), runs the skew-tolerant reassembly, and issues commands
@@ -85,6 +83,18 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 	ch := b.vciMap[rc.c.VCI]
 	if ch == nil || !ch.open {
 		b.stats.CellsNoVCI++
+		return
+	}
+	if ch.resync[rc.c.VCI] {
+		// AAL5 resynchronization (Config.ReasmResync): a framing error
+		// aborted a PDU mid-stream, so cells up to and including the next
+		// Last cell belong to the abandoned PDU and must not open a new
+		// reassembly — the Last cell marks the boundary where clean
+		// framing resumes.
+		b.stats.CellsResync++
+		if rc.c.Last {
+			delete(ch.resync, rc.c.VCI)
+		}
 		return
 	}
 	rs := b.getReasm(ch, rc.c.VCI)
@@ -157,6 +167,11 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 	if !complete && b.cfg.Strategy != ArrivalOrder && rs.errorDetected(b.cfg.StripeWidth) {
 		// Cells were lost in the network: discard the PDU (AAL5-style).
 		b.putRxData(data)
+		if b.cfg.ReasmResync && !rc.c.Last {
+			// The stream is mid-PDU: swallow the abandoned PDU's tail so
+			// its Last cell cannot seed a frame-shifted reassembly.
+			ch.resync[rc.c.VCI] = true
+		}
 		b.finishRxPDU(p, ch, rs, false)
 		return
 	}
@@ -165,9 +180,6 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 	if !haveBufs {
 		b.putRxData(data)
 		b.putSegs(segs)
-		if debugDrops {
-			println("DROP at", int64(p.Now()), "vci", int(rc.c.VCI), "off", off, "stash", len(ch.stash))
-		}
 		// Out of receive buffers: the board drops the PDU before it
 		// consumes any host resources — under overload this is what
 		// sheds low-priority traffic early (§3.1).

@@ -66,6 +66,9 @@ func buildNode(e *sim.Engine, opt Options, name string, addr proto.HostAddr) *No
 		b.RegisterMetrics(opt.Metrics, name+"/board")
 		d.RegisterMetrics(opt.Metrics, name+"/driver")
 		n.RDP.RegisterMetrics(opt.Metrics, name+"/rdp")
+		if opt.AdaptiveMetrics {
+			n.RDP.RegisterAdaptiveMetrics(opt.Metrics, name+"/rdp")
+		}
 	}
 	return n
 }
@@ -98,6 +101,7 @@ func NewCluster(opt Options, n int) *Cluster {
 		Width:         width,
 		Link:          opt.Link,
 		QueueCells:    opt.FabricQueueCells,
+		MarkThreshold: opt.FabricMarkThreshold,
 		PerCellFabric: opt.PerCellFabric,
 	})
 	for i, nd := range cl.Nodes {
@@ -163,6 +167,42 @@ func (cl *Cluster) OpenPair(from, to int, kind ProtoKind) (tx, rx xkernel.Sessio
 		}
 		rx, err = dst.UDP.Open(proto.UDPOpen{Remote: src.Addr, VCI: v, SrcPort: uint16(to + 1), DstPort: uint16(from + 1), Checksum: cl.Opt.Checksum})
 	}
+	return tx, rx, err
+}
+
+// OpenPairRDP opens a reliable RDP path from node `from` to node `to`.
+// Unlike the unidirectional OpenPair kinds, RDP is bidirectional on its
+// one VCI — data cells flow forward and acknowledgement cells flow back
+// on the same circuit — so the fabric route is installed per (input
+// port, VCI): cells entering at `from` go to `to` and cells entering at
+// `to` (the acks) go to `from`, exactly how a real ATM switch's
+// per-port VCI tables work. o.Remote and o.VCI are filled in here; the
+// caller sets the transport knobs (Window, Adaptive, …). tx is the
+// sending session on `from`, rx the delivering session on `to`.
+func (cl *Cluster) OpenPairRDP(from, to int, o proto.RDPOpen) (tx, rx xkernel.Session, err error) {
+	if from < 0 || from >= len(cl.Nodes) || to < 0 || to >= len(cl.Nodes) {
+		return nil, nil, fmt.Errorf("core: node pair (%d,%d) out of range [0,%d)", from, to, len(cl.Nodes))
+	}
+	if from == to {
+		return nil, nil, fmt.Errorf("core: cannot open a pair from node %d to itself", from)
+	}
+	v := cl.allocVCI()
+	if cl.Fabric != nil {
+		if err := cl.Fabric.RouteFrom(from, v, to); err != nil {
+			return nil, nil, err
+		}
+		if err := cl.Fabric.RouteFrom(to, v, from); err != nil {
+			return nil, nil, err
+		}
+	}
+	src, dst := cl.Nodes[from], cl.Nodes[to]
+	so, do := o, o
+	so.Remote, so.VCI = dst.Addr, v
+	do.Remote, do.VCI = src.Addr, v
+	if tx, err = src.RDP.Open(so); err != nil {
+		return nil, nil, err
+	}
+	rx, err = dst.RDP.Open(do)
 	return tx, rx, err
 }
 

@@ -74,6 +74,11 @@ type Options struct {
 	// arriving at a full queue are dropped and counted. Ignored by the
 	// back-to-back testbed.
 	FabricQueueCells int
+	// FabricMarkThreshold enables ECN-style marking at the switch: cells
+	// entering an output queue at or past this occupancy get their CE
+	// bit set (atm.SwitchConfig.MarkThreshold). 0 (the default) disables
+	// marking. Ignored by the back-to-back testbed.
+	FabricMarkThreshold int
 	// PerCellFabric forces the switch's per-cell queue/arbiter machine
 	// instead of train forwarding (atm.SwitchConfig.PerCellFabric);
 	// results are byte-identical either way, and CI diffs the two.
@@ -97,6 +102,15 @@ type Options struct {
 	// one topology; building two clusters against the same registry
 	// panics on the duplicate names.
 	Metrics *metrics.Registry
+	// AdaptiveMetrics additionally registers each node's adaptive-RDP
+	// telemetry family (fast_retx, ecn_echoed, ecn_backoffs,
+	// rtt_samples, cwnd/ssthresh gauges, RTT quantile sketch) in the
+	// Metrics registry. Gated separately because the committed
+	// BENCH_metrics.json snapshot pins the exact metric name set of the
+	// legacy experiments: a configuration that never opens an adaptive
+	// session must not grow new (all-zero) families. No-op when Metrics
+	// is nil.
+	AdaptiveMetrics bool
 	// Shards partitions the topology over that many engine shards run by
 	// a conservative-parallel scheduler (sim.ShardGroup), with the link
 	// propagation delay as lookahead. 0 or 1 selects the exact serial

@@ -16,9 +16,14 @@ import (
 // FanInClient is one sender's view of a fan-in run, as measured at the
 // server.
 type FanInClient struct {
-	Client    int     // client index (node Client+1 in the cluster)
-	Sent      int     // messages the client pushed
-	Delivered int     // messages the server received intact
+	Client    int // client index (node Client+1 in the cluster)
+	Sent      int // messages the client pushed
+	Delivered int // messages the server received intact
+	// Shortfall is Sent − Delivered: messages the client offered that
+	// the server never saw. Over the unreliable UDP stack these are gone
+	// for good — the per-client number makes the incast victim visible
+	// instead of hiding inside the aggregate.
+	Shortfall int
 	Mbps      float64 // server-side goodput over the client's own window
 }
 
@@ -28,6 +33,7 @@ type FanInResult struct {
 	Clients   []FanInClient
 	Sent      int // aggregate messages pushed
 	Delivered int // aggregate messages received intact
+	Shortfall int // aggregate messages lost in flight (Sent − Delivered)
 	// Corrupt counts deliveries whose payload failed byte-for-byte
 	// verification. Cell loss in the fabric must surface as *missing*
 	// messages (the AAL5 trailer check and the UDP checksum discard
@@ -203,9 +209,11 @@ func (cl *Cluster) RunFanIn(w workload.FanIn) (*FanInResult, error) {
 			Client:    c,
 			Sent:      w.Messages,
 			Delivered: a.Messages,
+			Shortfall: w.Messages - a.Messages,
 			Mbps:      a.Mbps(),
 		})
 		res.Delivered += a.Messages
+		res.Shortfall += w.Messages - a.Messages
 	}
 	agg := perClient.Aggregate()
 	res.AggregateMbps = agg.Mbps()

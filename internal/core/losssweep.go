@@ -55,6 +55,12 @@ type LossSweep struct {
 	// Seed seeds every point's fresh simulation (0 selects
 	// DefaultSeed; ZeroSeed requests a literal zero).
 	Seed int64
+	// AdaptiveColumn additionally runs every swept rate a second time
+	// over the adaptive transport (RTT-estimated retransmission timer,
+	// AIMD congestion window) with the same seed and fault stream, and
+	// records the outcome in each point's Adaptive block — the
+	// fixed-timer vs RTT-estimated recovery comparison, side by side.
+	AdaptiveColumn bool
 	// Workers fans the per-rate runs across a parexp pool. Each rate
 	// is an independent, seeded simulation, and the points are merged
 	// back in rate order, so the result — and its JSON encoding — is
@@ -133,6 +139,25 @@ type LossSweepPoint struct {
 	// Leak check: both must be zero at exit on every board.
 	OpenReassemblies int `json:"open_reassemblies"`
 	HeldReasmBufs    int `json:"held_reasm_bufs"`
+
+	// Adaptive is the same rate rerun over the adaptive transport
+	// (LossSweep.AdaptiveColumn); nil when the column was not requested,
+	// and omitted from the JSON so legacy sweeps encode unchanged.
+	Adaptive *LossSweepAdaptive `json:"adaptive,omitempty"`
+}
+
+// LossSweepAdaptive is the adaptive-transport column of one swept rate:
+// the same workload, seed, and fault stream recovered by the
+// RTT-estimated timer instead of the fixed backoff schedule.
+type LossSweepAdaptive struct {
+	Delivered   int     `json:"delivered"`
+	Failed      int64   `json:"failed"`
+	GoodputMbps float64 `json:"goodput_mbps"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+	Retransmits int64   `json:"retransmits"`
+	Timeouts    int64   `json:"timeouts"`
+	FastRetx    int64   `json:"fast_retx"`
+	RTTSamples  int64   `json:"rtt_samples"`
 }
 
 // LossSweepResult is the whole sweep, JSON-stable for a fixed seed.
@@ -215,6 +240,30 @@ func RunLossSweep(cfg LossSweep) (*LossSweepResult, error) {
 }
 
 func runLossPoint(cfg LossSweep, rate float64) (LossSweepPoint, error) {
+	pt, _, err := runLossRun(cfg, rate, false)
+	if err != nil {
+		return pt, err
+	}
+	if cfg.AdaptiveColumn {
+		apt, ast, err := runLossRun(cfg, rate, true)
+		if err != nil {
+			return pt, fmt.Errorf("adaptive column: %w", err)
+		}
+		pt.Adaptive = &LossSweepAdaptive{
+			Delivered:   apt.Delivered,
+			Failed:      apt.Failed,
+			GoodputMbps: apt.GoodputMbps,
+			ElapsedNS:   apt.ElapsedNS,
+			Retransmits: apt.Retransmits,
+			Timeouts:    apt.Timeouts,
+			FastRetx:    ast.FastRetx,
+			RTTSamples:  ast.RTTSamples,
+		}
+	}
+	return pt, nil
+}
+
+func runLossRun(cfg LossSweep, rate float64, adaptive bool) (LossSweepPoint, proto.RDPStats, error) {
 	pt := LossSweepPoint{MeanLoss: rate, BurstLen: cfg.BurstLen, Sent: cfg.Messages}
 
 	var fc *fault.Config
@@ -248,13 +297,14 @@ func runLossPoint(cfg LossSweep, rate float64) (LossSweepPoint, error) {
 	txSess, err := tb.A.RDP.Open(proto.RDPOpen{
 		Remote: tb.B.Addr, VCI: v, Window: cfg.Window,
 		RetransmitTimeout: cfg.RetransmitTimeout, MaxRetries: cfg.MaxRetries,
+		Adaptive: adaptive,
 	})
 	if err != nil {
-		return pt, err
+		return pt, proto.RDPStats{}, err
 	}
-	rxSess, err := tb.B.RDP.Open(proto.RDPOpen{Remote: tb.A.Addr, VCI: v, Window: cfg.Window})
+	rxSess, err := tb.B.RDP.Open(proto.RDPOpen{Remote: tb.A.Addr, VCI: v, Window: cfg.Window, Adaptive: adaptive})
 	if err != nil {
-		return pt, err
+		return pt, proto.RDPStats{}, err
 	}
 
 	var start, last sim.Time
@@ -297,13 +347,13 @@ func runLossPoint(cfg LossSweep, rate float64) (LossSweepPoint, error) {
 	tb.Eng.Run()
 
 	if pushErr != nil {
-		return pt, pushErr
+		return pt, proto.RDPStats{}, pushErr
 	}
 	if !senderDone {
-		return pt, fmt.Errorf("sender wedged after %d deliveries", pt.Delivered)
+		return pt, proto.RDPStats{}, fmt.Errorf("sender wedged after %d deliveries", pt.Delivered)
 	}
 	if pt.Corrupt != 0 {
-		return pt, fmt.Errorf("%d corrupt deliveries (loss must surface as missing PDUs, never damaged ones)", pt.Corrupt)
+		return pt, proto.RDPStats{}, fmt.Errorf("%d corrupt deliveries (loss must surface as missing PDUs, never damaged ones)", pt.Corrupt)
 	}
 
 	st := tb.A.RDP.Stats()
@@ -311,7 +361,7 @@ func runLossPoint(cfg LossSweep, rate float64) (LossSweepPoint, error) {
 	pt.Timeouts = st.Timeouts
 	pt.Failed = st.Failed
 	if pt.Failed == 0 && pt.Delivered != pt.Sent {
-		return pt, fmt.Errorf("healthy session delivered %d/%d", pt.Delivered, pt.Sent)
+		return pt, st, fmt.Errorf("healthy session delivered %d/%d", pt.Delivered, pt.Sent)
 	}
 	if pt.Delivered > 0 {
 		pt.ElapsedNS = int64(last - start)
@@ -336,7 +386,7 @@ func runLossPoint(cfg LossSweep, rate float64) (LossSweepPoint, error) {
 		pt.HeldReasmBufs += nd.Board.HeldReasmBufs()
 	}
 	if pt.OpenReassemblies != 0 || pt.HeldReasmBufs != 0 {
-		return pt, fmt.Errorf("leaked reassembly state at exit: open=%d held=%d", pt.OpenReassemblies, pt.HeldReasmBufs)
+		return pt, st, fmt.Errorf("leaked reassembly state at exit: open=%d held=%d", pt.OpenReassemblies, pt.HeldReasmBufs)
 	}
-	return pt, nil
+	return pt, st, nil
 }

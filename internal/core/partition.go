@@ -146,6 +146,7 @@ func buildShardedCluster(opt Options, n int, plan ShardPlan) *Cluster {
 		Width:         width,
 		Link:          opt.Link,
 		QueueCells:    opt.FabricQueueCells,
+		MarkThreshold: opt.FabricMarkThreshold,
 		PerCellFabric: opt.PerCellFabric,
 	})
 	for i, nd := range cl.Nodes {

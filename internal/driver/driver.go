@@ -192,6 +192,7 @@ type Driver struct {
 	// Buffer retention (fragment reassembly above the driver).
 	currentMsg  *msg.Message
 	currentBufs []*rxBuffer
+	currentCE   bool // the PDU being delivered carried a fabric CE mark
 	retainFlag  bool
 	retained    map[*msg.Message][]*rxBuffer
 
@@ -587,7 +588,11 @@ func (d *Driver) deliverPDU(p *sim.Proc, descs []queue.Desc) {
 
 	var frags []msg.Fragment
 	var bufs []*rxBuffer
+	ce := false
 	for _, desc := range descs {
+		if desc.Flags&queue.FlagCE != 0 {
+			ce = true
+		}
 		rb := d.byPA[desc.Addr]
 		if rb == nil {
 			panic(fmt.Sprintf("driver: received descriptor for unknown buffer %#x", uint32(desc.Addr)))
@@ -602,7 +607,7 @@ func (d *Driver) deliverPDU(p *sim.Proc, descs []queue.Desc) {
 	}
 	m := msg.New(frags...)
 	pt := d.paths[descs[len(descs)-1].VCI]
-	d.currentMsg, d.currentBufs, d.retainFlag = m, bufs, false
+	d.currentMsg, d.currentBufs, d.currentCE, d.retainFlag = m, bufs, ce, false
 	if pt != nil && pt.handler != nil {
 		pt.handler(p, m)
 	}
@@ -612,8 +617,14 @@ func (d *Driver) deliverPDU(p *sim.Proc, descs []queue.Desc) {
 		// Handler done: recycle the buffers.
 		d.reserve = append(d.reserve, bufs...)
 	}
-	d.currentMsg, d.currentBufs, d.retainFlag = nil, nil, false
+	d.currentMsg, d.currentBufs, d.currentCE, d.retainFlag = nil, nil, false, false
 }
+
+// CEMarked, called from within a path handler, reports whether the PDU
+// being delivered carried the fabric's congestion-experienced mark (any
+// of its cells entered a switch output queue past the mark threshold).
+// Outside a delivery it is false.
+func (d *Driver) CEMarked() bool { return d.currentCE }
 
 // Retain, called from within a path handler, transfers ownership of the
 // PDU's receive buffers to the caller — an upper protocol holding a

@@ -119,7 +119,8 @@ type ipPartial struct {
 	frags    map[uint32]*msg.Message // fragOff -> payload view
 	retained []*msg.Message          // driver messages held for release
 	got      int
-	total    int // -1 until the final fragment arrives
+	total    int  // -1 until the final fragment arrives
+	ce       bool // any fragment arrived CE-marked
 }
 
 type ipSession struct {
@@ -130,6 +131,7 @@ type ipSession struct {
 	upper      xkernel.Handler
 	reasm      map[uint32]*ipPartial
 	reasmOrder []uint32 // insertion order, for the staleness cap
+	lastCE     bool     // the PDU being delivered upward carried a CE mark
 }
 
 // maxPartials bounds concurrent fragment reassemblies per session; the
@@ -139,6 +141,11 @@ const maxPartials = 4
 
 // SetHandler implements xkernel.Session.
 func (s *ipSession) SetHandler(h xkernel.Handler) { s.upper = h }
+
+// CongestionMarked, read from within an upper handler, reports whether
+// the PDU being delivered (or, for fragmented PDUs, any fragment of it)
+// carried the fabric's congestion-experienced mark.
+func (s *ipSession) CongestionMarked() bool { return s.lastCE }
 
 // Close implements xkernel.Session.
 func (s *ipSession) Close() { s.ip.drv.ClosePath(s.path) }
@@ -283,6 +290,7 @@ ok:
 		// Unfragmented fast path.
 		s.ip.stats.PDUsRecv++
 		if s.upper != nil {
+			s.lastCE = s.ip.drv.CEMarked()
 			s.upper(p, payload)
 		}
 		return
@@ -303,6 +311,9 @@ ok:
 	}
 	s.ip.drv.Retain(m)
 	part.retained = append(part.retained, m)
+	if s.ip.drv.CEMarked() {
+		part.ce = true
+	}
 	part.frags[off] = payload
 	part.got += payload.Len()
 	if !mf {
@@ -326,6 +337,7 @@ ok:
 	s.forget(ident)
 	s.ip.stats.PDUsRecv++
 	if s.upper != nil {
+		s.lastCE = part.ce
 		s.upper(p, assembled)
 	}
 	for _, rm := range part.retained {

@@ -29,6 +29,11 @@ type RDP struct {
 	host  *hostsim.Host
 	ip    *IP
 	stats RDPStats
+
+	// Adaptive telemetry (RegisterAdaptiveMetrics): RTT sample sketch
+	// and the live adaptive sessions whose cwnd/ssthresh the gauges sum.
+	mRTT     *metrics.Sketch
+	adaptive []*rdpSession
 }
 
 // RDPStats counts RDP activity.
@@ -42,6 +47,13 @@ type RDPStats struct {
 	ChecksumErr int64
 	DupAcks     int64
 	Failed      int64 // sessions closed by the MaxRetries cap
+
+	// Adaptive-transport counters (RDPOpen.Adaptive sessions only; zero
+	// on legacy sessions).
+	FastRetx    int64 // retransmissions triggered by the dup-ack threshold
+	EcnEchoed   int64 // segments sent carrying the ECE echo
+	EcnBackoffs int64 // multiplicative decreases triggered by ECE
+	RTTSamples  int64 // round-trip samples accepted by the estimator
 }
 
 // ErrMaxRetries is the terminal session error raised when MaxRetries
@@ -82,6 +94,38 @@ func (r *RDP) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Sample(prefix+"/failed", metrics.KindCounter, func() int64 { return s.Failed })
 }
 
+// RegisterAdaptiveMetrics registers the adaptive transport's telemetry
+// under prefix: the ECN/fast-retransmit counters, cwnd/ssthresh gauges
+// (summed in segments across live adaptive sessions), and the RTT
+// sample sketch. Kept separate from RegisterMetrics so experiments that
+// never open an adaptive session keep their exact metric name set (the
+// committed BENCH_metrics.json pins it). A nil registry is a no-op.
+func (r *RDP) RegisterAdaptiveMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	s := &r.stats
+	reg.Sample(prefix+"/fast_retx", metrics.KindCounter, func() int64 { return s.FastRetx })
+	reg.Sample(prefix+"/ecn_echoed", metrics.KindCounter, func() int64 { return s.EcnEchoed })
+	reg.Sample(prefix+"/ecn_backoffs", metrics.KindCounter, func() int64 { return s.EcnBackoffs })
+	reg.Sample(prefix+"/rtt_samples", metrics.KindCounter, func() int64 { return s.RTTSamples })
+	reg.Sample(prefix+"/cwnd_segments", metrics.KindGauge, func() int64 {
+		var sum int64
+		for _, as := range r.adaptive {
+			sum += int64(as.cwnd / cwndUnit)
+		}
+		return sum
+	})
+	reg.Sample(prefix+"/ssthresh_segments", metrics.KindGauge, func() int64 {
+		var sum int64
+		for _, as := range r.adaptive {
+			sum += int64(as.ssthresh / cwndUnit)
+		}
+		return sum
+	})
+	r.mRTT = reg.Quantiles(prefix+"/rtt_us", 0.5, 0.9, 0.99)
+}
+
 // ProtoRDP is RDP's protocol number in the IP header.
 const ProtoRDP = 27
 
@@ -112,6 +156,24 @@ type RDPOpen struct {
 	// silent streaks are routine for large segments, so the cap is for
 	// callers that would rather detect a dead peer than wait it out.
 	MaxRetries int
+
+	// Adaptive enables the adaptive transport machinery: an SRTT/RTTVAR
+	// RTT estimator (Karn's rule) replacing the fixed jittered timer, a
+	// congestion window under Window (slow start, AIMD, fast retransmit
+	// at DupAckThreshold duplicate acks), and echo of the fabric's CE
+	// marks so senders back off before tail drop. Off by default: legacy
+	// sessions behave bit-for-bit as before.
+	Adaptive bool
+	// DupAckThreshold is the duplicate-ack count that triggers a fast
+	// retransmit (adaptive only, default 3).
+	DupAckThreshold int
+	// MinRTO and MaxRTO clamp the estimated retransmission timeout
+	// (adaptive only; defaults 200 µs and 100 ms). The pre-sample RTO is
+	// RetransmitTimeout clamped into this range.
+	MinRTO, MaxRTO time.Duration
+	// InitialCwnd is the initial congestion window in segments
+	// (adaptive only, default 2).
+	InitialCwnd int
 }
 
 // Open implements xkernel.Protocol.
@@ -126,6 +188,23 @@ func (r *RDP) Open(addr any) (xkernel.Session, error) {
 	if a.RetransmitTimeout == 0 {
 		a.RetransmitTimeout = 2 * time.Millisecond
 	}
+	if a.Adaptive {
+		if a.DupAckThreshold == 0 {
+			a.DupAckThreshold = 3
+		}
+		if a.MinRTO == 0 {
+			a.MinRTO = 200 * time.Microsecond
+		}
+		if a.MaxRTO == 0 {
+			a.MaxRTO = 100 * time.Millisecond
+		}
+		if a.InitialCwnd == 0 {
+			a.InitialCwnd = 2
+		}
+		if a.InitialCwnd > a.Window {
+			a.InitialCwnd = a.Window
+		}
+	}
 	lower, err := r.ip.Open(IPOpen{Remote: a.Remote, VCI: a.VCI, Proto: ProtoRDP})
 	if err != nil {
 		return nil, err
@@ -139,6 +218,12 @@ func (r *RDP) Open(addr any) (xkernel.Session, error) {
 		acked:    sim.NewCond(r.host.Eng),
 		retxWork: sim.NewCond(r.host.Eng),
 		rng:      r.host.Eng.DeriveRand(fmt.Sprintf("rdp/r%v/vci%d", a.Remote, a.VCI)),
+	}
+	if a.Adaptive {
+		s.est = newRTTEstimator(a.RetransmitTimeout, a.MinRTO, a.MaxRTO)
+		s.cwnd = uint32(a.InitialCwnd) * cwndUnit
+		s.ssthresh = uint32(a.Window) * cwndUnit
+		r.adaptive = append(r.adaptive, s)
 	}
 	lower.SetHandler(s.demux)
 	r.host.Eng.Go(fmt.Sprintf("rdp-retx-vci%d", a.VCI), s.retransmitter)
@@ -172,9 +257,34 @@ type rdpSession struct {
 	rng         *rand.Rand
 	err         error // terminal error (ErrMaxRetries); nil while healthy
 
+	// Adaptive-transport state (addr.Adaptive sessions only). cwnd and
+	// ssthresh are fixed-point (cwndUnit = one segment) so congestion
+	// avoidance accumulates fractional per-ack growth in integers —
+	// no floats, bit-deterministic. recoverSeq is nextSeq at the last
+	// window reduction: further loss/ECE signals before sendBase passes
+	// it belong to the same window and must not reduce again.
+	est        *rttEstimator
+	cwnd       uint32
+	ssthresh   uint32
+	dupAcks    int
+	recoverSeq uint32
+	pendingECE bool // receiver: echo ECE on the next outbound segment
+
 	// Receiver state.
 	expected uint32
 }
+
+// cwndUnit is one segment of congestion window in fixed-point units.
+const cwndUnit = 1 << 10
+
+// rdpFlagECE is the ECN-echo bit in the header's flags byte: the
+// receiver saw the fabric's CE mark on a delivered PDU and is telling
+// the sender to back off.
+const rdpFlagECE = 1 << 0
+
+// seqGE reports a ≥ b in modular sequence arithmetic (windows are far
+// smaller than half the sequence space).
+func seqGE(a, b uint32) bool { return a-b < 1<<31 }
 
 // SetHandler implements xkernel.Session.
 func (s *rdpSession) SetHandler(h xkernel.Handler) { s.upper = h }
@@ -190,7 +300,7 @@ func (s *rdpSession) Close() {
 // stores a retransmission copy, and returns once the segment is queued.
 // Use WaitAcked to drain the window.
 func (s *rdpSession) Push(p *sim.Proc, m *msg.Message) error {
-	for s.err == nil && s.nextSeq-s.sendBase >= uint32(s.addr.Window) {
+	for s.err == nil && s.nextSeq-s.sendBase >= s.effWindow() {
 		s.notFull.Wait(p)
 	}
 	if s.err != nil {
@@ -207,6 +317,9 @@ func (s *rdpSession) Push(p *sim.Proc, m *msg.Message) error {
 	s.nextSeq++
 	s.unacked[seq] = data
 	s.r.stats.DataSent++
+	if s.addr.Adaptive {
+		s.est.Sent(seq, s.r.host.Eng.Now())
+	}
 	if err := s.sendSegment(p, rdpData, seq, data); err != nil {
 		return err
 	}
@@ -226,6 +339,23 @@ func (s *rdpSession) WaitAcked(p *sim.Proc) {
 // retry cap fired — or nil while the session is healthy.
 func (s *rdpSession) Err() error { return s.err }
 
+// effWindow is the sender's effective window in segments: the flow
+// window for legacy sessions; its minimum with the congestion window
+// (never below one segment, so recovery can always probe) when
+// adaptive.
+func (s *rdpSession) effWindow() uint32 {
+	w := uint32(s.addr.Window)
+	if s.addr.Adaptive {
+		if c := s.cwnd / cwndUnit; c < w {
+			w = c
+		}
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
 // sendSegment builds the header (+ checksummed payload for data) and
 // pushes it through IP.
 func (s *rdpSession) sendSegment(p *sim.Proc, typ byte, seq uint32, payload []byte) error {
@@ -237,6 +367,14 @@ func (s *rdpSession) sendSegment(p *sim.Proc, typ byte, seq uint32, payload []by
 	}
 	buf := make([]byte, total)
 	buf[0] = typ
+	if s.addr.Adaptive && s.pendingECE {
+		// Echo the fabric's CE mark back to the sender. One-shot: the
+		// reverse path re-arms it for every marked PDU that arrives, so
+		// a persistently congested queue keeps the echo flowing.
+		buf[1] = rdpFlagECE
+		s.pendingECE = false
+		s.r.stats.EcnEchoed++
+	}
 	binary.BigEndian.PutUint32(buf[4:], seq)
 	binary.BigEndian.PutUint32(buf[8:], s.expected) // piggybacked cumulative ack
 	binary.BigEndian.PutUint32(buf[12:], uint32(len(payload)))
@@ -288,12 +426,45 @@ func (s *rdpSession) backoffTimeout() time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
+// timeoutInterval is the interval the retransmit timer is armed with:
+// the estimator's RTO for adaptive sessions, the backed-off fixed base
+// for legacy. Both carry the ±25% jitter factor from the session's
+// derived stream (deterministic, but decorrelated across sessions).
+// The jitter is load-bearing for incast recovery: synchronized flows
+// that all lost their whole window take their sample-free RTOs in
+// lockstep, and when one in-flight segment spans more cells than the
+// shared output queue holds, only a flow retransmitting alone can
+// complete a PDU — identical timers would collide forever.
+func (s *rdpSession) timeoutInterval() time.Duration {
+	if s.addr.Adaptive {
+		jitter := 0.75 + s.rng.Float64()/2
+		return time.Duration(float64(s.est.RTO()) * jitter)
+	}
+	return s.backoffTimeout()
+}
+
+// onTimeout is the adaptive congestion response to a retransmission
+// timeout: collapse to one segment (the strongest loss signal), halve
+// ssthresh, and let the estimator double its RTO until a fresh sample
+// arrives (Karn's rule keeps ambiguous samples out meanwhile).
+func (s *rdpSession) onTimeout() {
+	half := s.cwnd / 2
+	if half < 2*cwndUnit {
+		half = 2 * cwndUnit
+	}
+	s.ssthresh = half
+	s.cwnd = cwndUnit
+	s.recoverSeq = s.nextSeq
+	s.dupAcks = 0
+	s.est.Backoff()
+}
+
 func (s *rdpSession) armTimer() {
 	if s.timer.Pending() || s.sendBase == s.nextSeq || s.closed {
 		return
 	}
 	eng := s.r.host.Eng
-	s.timer = eng.After(s.backoffTimeout(), func() {
+	s.timer = eng.After(s.timeoutInterval(), func() {
 		s.timer = sim.Event{}
 		if s.closed || s.sendBase == s.nextSeq {
 			return
@@ -303,6 +474,9 @@ func (s *rdpSession) armTimer() {
 		if s.addr.MaxRetries > 0 && s.consecutive > s.addr.MaxRetries {
 			s.fail(ErrMaxRetries)
 			return
+		}
+		if s.addr.Adaptive {
+			s.onTimeout()
 		}
 		s.retxWork.Broadcast()
 	})
@@ -334,17 +508,30 @@ func (s *rdpSession) cancelTimer() {
 }
 
 // retransmitter is the session's timeout thread: on each timer firing it
-// resends the whole outstanding window (go-back-N).
+// resends the outstanding window (go-back-N) — all of it for legacy
+// sessions, at most the congestion window for adaptive ones (a
+// collapsed cwnd must not blast the full flow window back into the
+// congested queue). Adaptive resends are reported to the estimator so
+// Karn's rule disqualifies their ambiguous acks.
 func (s *rdpSession) retransmitter(p *sim.Proc) {
 	for {
 		s.retxWork.Wait(p)
 		if s.closed {
 			return
 		}
-		for seq := s.sendBase; seq != s.nextSeq; seq++ {
+		end := s.nextSeq
+		if s.addr.Adaptive {
+			if w := s.effWindow(); s.nextSeq-s.sendBase > w {
+				end = s.sendBase + w
+			}
+		}
+		for seq := s.sendBase; seq != end; seq++ {
 			data, ok := s.unacked[seq]
 			if !ok {
 				continue
+			}
+			if s.addr.Adaptive {
+				s.est.Retransmitted(seq)
 			}
 			s.r.stats.Retransmits++
 			if eng := s.r.host.Eng; eng.Recording() {
@@ -368,15 +555,24 @@ func (s *rdpSession) demux(p *sim.Proc, m *msg.Message) {
 		return
 	}
 	typ := hdr[0]
+	ece := s.addr.Adaptive && hdr[1]&rdpFlagECE != 0
 	seq := binary.BigEndian.Uint32(hdr[4:])
 	ack := binary.BigEndian.Uint32(hdr[8:])
 	plen := binary.BigEndian.Uint32(hdr[12:])
 
 	// Cumulative acknowledgement processing (both segment types carry it).
-	s.processAck(ack)
+	s.processAck(ack, ece)
 
 	if typ != rdpData {
 		return
+	}
+	if s.addr.Adaptive {
+		// The fabric's CE mark rides the PDU that carried this segment;
+		// note it before any discard below — congestion was experienced
+		// whether or not the segment is in sequence.
+		if ips, ok := s.lower.(*ipSession); ok && ips.CongestionMarked() {
+			s.pendingECE = true
+		}
 	}
 	if int(plen) != m.Len()-RDPHeaderSize {
 		return
@@ -417,7 +613,7 @@ func (s *rdpSession) demux(p *sim.Proc, m *msg.Message) {
 	s.sendAck(p)
 }
 
-func (s *rdpSession) processAck(ack uint32) {
+func (s *rdpSession) processAck(ack uint32, ece bool) {
 	if ack == s.sendBase {
 		if s.sendBase != s.nextSeq {
 			s.r.stats.DupAcks++
@@ -426,6 +622,29 @@ func (s *rdpSession) processAck(ack uint32) {
 			// retransmitting at the base rate; exponential backoff is for
 			// silence, not for loss.
 			s.consecutive = 0
+			if s.addr.Adaptive {
+				if ece {
+					s.ecnBackoff()
+				}
+				s.dupAcks++
+				if s.dupAcks == s.addr.DupAckThreshold && seqGE(s.sendBase, s.recoverSeq) {
+					// Fast retransmit: the receiver is live and asking for
+					// sendBase — recover in one RTT instead of a timeout
+					// round. Reno response: halve into recovery, resend the
+					// (cwnd-bounded) window, restart the timer fresh.
+					s.r.stats.FastRetx++
+					half := s.cwnd / 2
+					if half < 2*cwndUnit {
+						half = 2 * cwndUnit
+					}
+					s.ssthresh = half
+					s.cwnd = half
+					s.recoverSeq = s.nextSeq
+					s.dupAcks = 0
+					s.cancelTimer()
+					s.retxWork.Broadcast()
+				}
+			}
 		}
 		return
 	}
@@ -434,15 +653,84 @@ func (s *rdpSession) processAck(ack uint32) {
 	if ack-s.sendBase > s.nextSeq-s.sendBase {
 		return
 	}
+	now := s.r.host.Eng.Now()
+	ackedSegs := uint32(0)
 	for s.sendBase != s.nextSeq && s.sendBase != ack {
 		delete(s.unacked, s.sendBase)
+		if s.addr.Adaptive {
+			if sample, ok := s.est.Acked(s.sendBase, now); ok {
+				s.r.stats.RTTSamples++
+				if s.r.mRTT != nil {
+					s.r.mRTT.Observe(float64(sample.Microseconds()))
+				}
+			}
+		}
 		s.sendBase++
+		ackedSegs++
 	}
 	s.consecutive = 0 // forward progress resets the backoff
+	if s.addr.Adaptive {
+		s.dupAcks = 0
+		s.growCwnd(ackedSegs)
+		if ece {
+			s.ecnBackoff()
+		}
+		if s.sendBase != s.nextSeq && !seqGE(s.sendBase, s.recoverSeq) {
+			// Ack-clocked recovery: while sendBase is still behind the
+			// last loss point, everything outstanding was (go-back-N)
+			// lost with it, so resend the cwnd-bounded window now — one
+			// window per RTT — instead of letting each segment wait out
+			// its own full backed-off RTO round.
+			s.retxWork.Broadcast()
+		}
+	}
 	s.notFull.Broadcast()
 	s.acked.Broadcast()
 	s.cancelTimer()
 	s.armTimer()
+}
+
+// growCwnd opens the congestion window for n newly acknowledged
+// segments: one segment per ack in slow start (below ssthresh), one
+// segment per window (cwndUnit²/cwnd per ack, integer fixed point) in
+// congestion avoidance. Capped at the flow window — growth beyond what
+// Push may ever have outstanding is dead state.
+func (s *rdpSession) growCwnd(n uint32) {
+	limit := uint32(s.addr.Window) * cwndUnit
+	for i := uint32(0); i < n && s.cwnd < limit; i++ {
+		if s.cwnd < s.ssthresh {
+			s.cwnd += cwndUnit
+		} else {
+			inc := cwndUnit * cwndUnit / s.cwnd
+			if inc == 0 {
+				inc = 1
+			}
+			s.cwnd += inc
+		}
+	}
+	if s.cwnd > limit {
+		s.cwnd = limit
+	}
+}
+
+// ecnBackoff is the sender's response to an ECE echo: a multiplicative
+// decrease without any retransmission — the point of marking is to shed
+// the queue before it tail-drops. At most one decrease per window in
+// flight (recoverSeq), or a burst of marked PDUs would collapse cwnd to
+// the floor in one RTT.
+func (s *rdpSession) ecnBackoff() {
+	if !seqGE(s.sendBase, s.recoverSeq) {
+		return
+	}
+	s.r.stats.EcnBackoffs++
+	half := s.cwnd / 2
+	if half < 2*cwndUnit {
+		half = 2 * cwndUnit
+	}
+	s.ssthresh = half
+	s.cwnd = half
+	s.recoverSeq = s.nextSeq
+	s.dupAcks = 0
 }
 
 func (s *rdpSession) sendAck(p *sim.Proc) {

@@ -1,0 +1,122 @@
+package proto
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// rttGranularity is the estimator's clock granularity G of RFC 6298:
+// the floor on the variance term of the computed RTO. The simulated
+// clock is exact to the nanosecond, but a sub-granularity variance term
+// would make the timeout hug the smoothed RTT so tightly that ordinary
+// ack jitter (reassembly completing a cell-train earlier or later)
+// fires spurious retransmissions.
+const rttGranularity = 10 * time.Microsecond
+
+// rttEstimator is the RFC 6298 SRTT/RTTVAR retransmission-timeout
+// estimator with Karn's algorithm, as a pure unit: it never touches the
+// engine, so tests drive it with synthetic clocks. All state is in
+// integer nanoseconds — no floats — so the adaptive transport stays
+// bit-deterministic under the seeded engine.
+//
+// Karn's rule is implemented by the Sent/Retransmitted/Acked triple:
+// Sent stamps a segment's first transmission, Retransmitted revokes the
+// stamp (an ack for a retransmitted segment is ambiguous — it may
+// acknowledge either transmission — so it must not feed the estimator),
+// and Acked consumes the stamp into a sample if it survived.
+type rttEstimator struct {
+	srtt   time.Duration // smoothed RTT; 0 until the first sample
+	rttvar time.Duration // RTT variance estimate
+	rto    time.Duration // current retransmission timeout
+	minRTO time.Duration
+	maxRTO time.Duration
+
+	sentAt  map[uint32]sim.Time // first-transmission stamps, Karn-eligible
+	samples int64
+}
+
+// newRTTEstimator returns an estimator whose RTO starts at initial
+// (clamped into [min, max]) until the first sample arrives.
+func newRTTEstimator(initial, min, max time.Duration) *rttEstimator {
+	e := &rttEstimator{minRTO: min, maxRTO: max, sentAt: make(map[uint32]sim.Time)}
+	e.rto = e.clamp(initial)
+	return e
+}
+
+func (e *rttEstimator) clamp(d time.Duration) time.Duration {
+	if d < e.minRTO {
+		return e.minRTO
+	}
+	if d > e.maxRTO {
+		return e.maxRTO
+	}
+	return d
+}
+
+// RTO returns the current retransmission timeout.
+func (e *rttEstimator) RTO() time.Duration { return e.rto }
+
+// SRTT returns the smoothed RTT (0 before the first sample).
+func (e *rttEstimator) SRTT() time.Duration { return e.srtt }
+
+// RTTVar returns the variance estimate.
+func (e *rttEstimator) RTTVar() time.Duration { return e.rttvar }
+
+// Samples returns the number of accepted samples.
+func (e *rttEstimator) Samples() int64 { return e.samples }
+
+// Sent records seq's first transmission at the given instant.
+func (e *rttEstimator) Sent(seq uint32, at sim.Time) { e.sentAt[seq] = at }
+
+// Retransmitted applies Karn's rule: seq's eventual ack is ambiguous,
+// so its stamp is revoked and no sample will be taken from it.
+func (e *rttEstimator) Retransmitted(seq uint32) { delete(e.sentAt, seq) }
+
+// Acked consumes seq's stamp. If the stamp survived (the segment was
+// never retransmitted) the round-trip becomes a sample and ok is true.
+func (e *rttEstimator) Acked(seq uint32, now sim.Time) (sample time.Duration, ok bool) {
+	at, found := e.sentAt[seq]
+	if !found {
+		return 0, false
+	}
+	delete(e.sentAt, seq)
+	sample = time.Duration(now - at)
+	if sample < 0 {
+		return 0, false
+	}
+	e.Observe(sample)
+	return sample, true
+}
+
+// Observe feeds one round-trip sample through the RFC 6298 update:
+//
+//	first:  SRTT = R, RTTVAR = R/2
+//	after:  RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
+//	        SRTT   = 7/8·SRTT   + 1/8·R
+//	RTO = SRTT + max(G, 4·RTTVAR), clamped into [min, max]
+func (e *rttEstimator) Observe(r time.Duration) {
+	if e.samples == 0 {
+		e.srtt = r
+		e.rttvar = r / 2
+	} else {
+		dev := e.srtt - r
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar = (3*e.rttvar + dev) / 4
+		e.srtt = (7*e.srtt + r) / 8
+	}
+	e.samples++
+	varTerm := 4 * e.rttvar
+	if varTerm < rttGranularity {
+		varTerm = rttGranularity
+	}
+	e.rto = e.clamp(e.srtt + varTerm)
+}
+
+// Backoff doubles the RTO (timeout response), capped at maxRTO. The
+// next accepted sample recomputes it from SRTT/RTTVAR as usual.
+func (e *rttEstimator) Backoff() {
+	e.rto = e.clamp(e.rto * 2)
+}

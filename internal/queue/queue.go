@@ -37,6 +37,10 @@ const (
 	FlagEOP uint16 = 1 << 0
 	// FlagErr marks a buffer the board found in error (e.g. CRC failure).
 	FlagErr uint16 = 1 << 1
+	// FlagCE marks a PDU at least one of whose cells arrived with the
+	// congestion-experienced bit set by the fabric; the board sets it on
+	// the EOP descriptor so the driver can surface the mark to transports.
+	FlagCE uint16 = 1 << 2
 )
 
 // Desc describes one physical buffer exchanged between host and board:
