@@ -65,11 +65,11 @@ func main() {
 		}
 		runFilter = re
 		// -run alone means "search every regular section for matches".
-		if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagFaults || *flagIncast) {
+		if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagFaults || *flagIncast || *flagTenants) {
 			*flagAll = true
 		}
 	}
-	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagIncast || *flagParBench || *flagShardBench || *flagMetrics) {
+	if !(*flagAll || *flagTable1 || *flagFig2 || *flagFig3 || *flagFig4 || *flagAblations || *flagSimBench || *flagFaults || *flagIncast || *flagTenants || *flagParBench || *flagShardBench || *flagMetrics) {
 		flag.Usage()
 		os.Exit(2)
 	}

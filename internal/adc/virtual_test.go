@@ -1,0 +1,188 @@
+package adc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/board"
+	"repro/internal/dpm"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/queue"
+	"repro/internal/sim"
+)
+
+// TestADCOpenErrorPathNoLeak is the regression for the Open error
+// paths: when a buffer allocation fails partway through, the claimed
+// channel slot and every already-carved frame run must be released —
+// the next, reasonable, Open has to succeed with all memory intact.
+func TestADCOpenErrorPathNoLeak(t *testing.T) {
+	r := newADCRig(t)
+	app := NewAppDomain(r.hA, "app")
+	r.eng.Go("main", func(p *sim.Proc) {
+		free0 := r.hA.Mem.FreePages()
+		// 4096-page host: 1500 buffers × 4 pages cannot all be carved, so
+		// the loop fails after allocating some runs.
+		_, err := r.mgA.Open(p, app, []atm.VCI{50}, Config{BufBytes: 16 * 1024, BufCount: 1500})
+		if err == nil {
+			t.Fatal("oversized Open unexpectedly succeeded")
+		}
+		if got := r.hA.Mem.FreePages(); got != free0 {
+			t.Fatalf("failed Open leaked %d pages", free0-got)
+		}
+		// The slot must be free again: 15 modest opens all fit.
+		for i := 0; i < board.NumChannels-1; i++ {
+			if _, err := r.mgA.Open(p, app, []atm.VCI{atm.VCI(60 + i)},
+				Config{BufBytes: 4096, BufCount: 2, ExtraPages: 4}); err != nil {
+				t.Fatalf("open %d after failed open: %v", i, err)
+			}
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}
+
+// TestVirtualADCScaleOut opens far more ADCs than the adaptor has
+// queue-page pairs: virtual tenants spread over mux channels, every
+// VCI routes, and closing returns each tenant's transmit pages.
+func TestVirtualADCScaleOut(t *testing.T) {
+	r := newADCRig(t)
+	app := NewAppDomain(r.hA, "tenants")
+	const n = 64
+	cfg := Config{Virtual: true, BufBytes: 4096, BufCount: 2, ExtraPages: 4}
+	r.eng.Go("main", func(p *sim.Proc) {
+		adcs := make([]*ADC, n)
+		for i := range adcs {
+			a, err := r.mgA.Open(p, app, []atm.VCI{atm.VCI(100 + i)}, cfg)
+			if err != nil {
+				t.Fatalf("virtual open %d: %v", i, err)
+			}
+			if !a.Virtual() {
+				t.Fatal("ADC not virtual")
+			}
+			adcs[i] = a
+		}
+		if got := r.mgA.VirtualOpen(); got != n {
+			t.Fatalf("VirtualOpen = %d, want %d", got, n)
+		}
+		if mux := r.mgA.MuxChannels(); mux != board.NumChannels-1 {
+			t.Fatalf("mux channels = %d, want %d", mux, board.NumChannels-1)
+		}
+		if got := r.bA.BoundVCIs(); got != n {
+			t.Fatalf("bound VCIs = %d, want %d", got, n)
+		}
+		// Tenants pack the muxes evenly: 64 over 15 channels.
+		for _, mx := range r.mgA.muxes {
+			if mx.tenants < n/board.NumChannels || mx.tenants > n/(board.NumChannels-1)+1 {
+				t.Fatalf("mux ch%d holds %d tenants; packing is unbalanced", mx.idx, mx.tenants)
+			}
+		}
+		freeBefore := r.hA.Mem.FreePages()
+		for _, a := range adcs {
+			r.mgA.Close(a)
+		}
+		// Each tenant held one 4-page transmit run; close must return
+		// them all (mux pools stay, they are channel — not tenant — state).
+		if got := r.hA.Mem.FreePages(); got != freeBefore+4*n {
+			t.Fatalf("close returned %d pages, want %d", got-freeBefore, 4*n)
+		}
+		if r.mgA.VirtualOpen() != 0 || r.bA.BoundVCIs() != 0 {
+			t.Fatal("virtual close left bindings behind")
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+}
+
+// TestVirtualADCRoundTrip moves data between two virtual ADCs end to
+// end through their mux channels' shared drivers.
+func TestVirtualADCRoundTrip(t *testing.T) {
+	r := newADCRig(t)
+	appA := NewAppDomain(r.hA, "appA")
+	appB := NewAppDomain(r.hB, "appB")
+	data := pattern(6000, 3)
+	var got []byte
+	r.eng.Go("main", func(p *sim.Proc) {
+		adcA, err := r.mgA.Open(p, appA, []atm.VCI{70}, Config{Virtual: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adcB, err := r.mgB.Open(p, appB, []atm.VCI{70}, Config{Virtual: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := sim.NewCond(r.eng)
+		adcB.Driver().OpenPath(70, func(hp *sim.Proc, m *msg.Message) {
+			got, _ = m.Bytes()
+			done.Broadcast()
+		})
+		pt := adcA.Driver().OpenPath(70, nil)
+		va, size, err := adcA.TxBuffer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size < len(data) {
+			t.Fatalf("tx buffer too small: %d", size)
+		}
+		if err := appA.Space.WriteVirt(va, data); err != nil {
+			t.Fatal(err)
+		}
+		m := msg.New(msg.Fragment{Space: appA.Space, VA: va, Len: len(data)})
+		if err := adcA.Driver().Send(p, pt, m, nil); err != nil {
+			t.Fatal(err)
+		}
+		for got == nil {
+			done.Wait(p)
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if !bytes.Equal(got, data) {
+		t.Fatal("virtual ADC round trip corrupted")
+	}
+}
+
+// TestVirtualADCViolationAttribution shares one mux channel between
+// two tenants and forges a descriptor on tenant B's VCI naming tenant
+// A's transmit frame. The channel-level set contains that frame, so
+// only the per-VCI grant can catch it — and the violation must be
+// attributed to B, the tag on the offending descriptor.
+func TestVirtualADCViolationAttribution(t *testing.T) {
+	r := newADCRig(t)
+	app := NewAppDomain(r.hA, "app")
+	r.eng.Go("main", func(p *sim.Proc) {
+		adcA, err := r.mgA.Open(p, app, []atm.VCI{80}, Config{Virtual: true, ExtraPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adcB, err := r.mgA.Open(p, app, []atm.VCI{81}, Config{Virtual: true, ExtraPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := adcA.txFrames[0][0]
+		// Put A's frame in B's channel-level set, as if the tenants
+		// shared one mux channel: only the per-VCI grant can now catch
+		// the forgery below.
+		ch := r.bA.Channel(adcB.Index)
+		r.bA.AllowFrames(adcB.Index, []mem.Frame{victim})
+		// B's VCI, A's frame: channel-level authorized, per-VCI not.
+		ch.TxRing.TryPush(p, dpm.Host, queue.Desc{
+			Addr: r.hA.Mem.FrameAddr(victim), Len: 64, VCI: 81, Flags: queue.FlagEOP,
+		})
+		r.bA.KickTx()
+		p.Sleep(500 * time.Microsecond)
+		if adcB.Violations() != 1 {
+			t.Fatalf("tenant B violations = %d, want 1", adcB.Violations())
+		}
+		if adcA.Violations() != 0 {
+			t.Fatalf("tenant A violations = %d, want 0", adcA.Violations())
+		}
+	})
+	r.eng.Run()
+	r.eng.Shutdown()
+	if r.bA.Stats().PDUsTx != 0 {
+		t.Error("forged PDU was transmitted")
+	}
+}

@@ -199,6 +199,35 @@ type Config struct {
 	// receive FIFO entry — modelling a marginal board front end, as
 	// opposed to a faulty link or switch.
 	RxFault *fault.Config
+
+	// RxFIFOQuota caps how many cells any one channel may hold in the
+	// shared on-board receive FIFO (0 = unlimited, the seed behaviour).
+	// Without it, one full-blast sender can fill the FIFO and starve
+	// every other tenant's cells before demultiplexing even happens;
+	// with it, an over-quota channel's cells are dropped (counted in
+	// CellsQuotaDropped and per channel) while other tenants' cells
+	// still find space. Opt-in per-tenant isolation.
+	RxFIFOQuota int
+
+	// RecvDropGrace bounds how long the receive DMA engine will wait
+	// for space on a channel's full receive ring before dropping the
+	// descriptor's PDU instead (0 = wait forever, the seed behaviour).
+	// The engine is shared by all channels, so an unbounded wait lets
+	// one never-reaping receiver stall every tenant's deliveries; with
+	// a grace bound, the misbehaving channel's PDU is dropped to its
+	// PDU boundary (buffers recycled on-board, an abort marker sent
+	// once the ring drains so the driver discards any partial
+	// delivery) and the engine moves on. Counted in RecvRingDropped.
+	RecvDropGrace time.Duration
+
+	// TxDRRQuantum enables deficit-round-robin transmit arbitration
+	// among equal-priority channels (0 = the seed's cell-granularity
+	// round robin). Each ready channel earns this many payload bytes
+	// of deficit per arbitration round and transmits while its deficit
+	// lasts; tenants sending short, padded PDUs are charged only for
+	// the bytes they ship, so cell-slot fairness becomes goodput-byte
+	// fairness. Values below one cell payload are clamped up to it.
+	TxDRRQuantum int
 }
 
 func (c Config) withDefaults() Config {
@@ -229,31 +258,36 @@ func (c Config) withDefaults() Config {
 	if c.StripeWidth == 0 {
 		c.StripeWidth = atm.StripeWidth
 	}
+	if c.TxDRRQuantum > 0 && c.TxDRRQuantum < atm.CellPayload {
+		c.TxDRRQuantum = atm.CellPayload
+	}
 	return c
 }
 
 // Stats counts board activity.
 type Stats struct {
-	CellsTx          int64
-	CellsRx          int64
-	PDUsTx           int64
-	PDUsRx           int64
-	PDUsDropped      int64 // reassembly gave up (no buffers, bad placement)
-	CellsDroppedFIFO int64
-	CellsNoVCI       int64
-	PartialCellsTx   int64 // mid-PDU partial cells (FixedCell policy)
-	SplitCellsTx     int64 // cells composed from two buffer segments
-	CombinedDMAs     int64 // double-cell DMAs issued
-	SingleDMAs       int64
-	RxIRQs           int64
-	TxIRQs           int64
-	Violations       int64
-	ScratchRecycled  int64
-	PDUsTimedOut     int64 // reassemblies aborted by the ReasmTimeout sweep
-	PDUsCRCDropped   int64 // completed PDUs rejected by the AAL5 CRC check
-	CellsDuplicate   int64 // duplicate cells rejected (RejectDuplicates)
-	CellsResync      int64 // cells discarded while resyncing after a framing error (ReasmResync)
-	RxAbortMarkers   int64 // abort markers sent to the driver for partial PDUs
+	CellsTx           int64
+	CellsRx           int64
+	PDUsTx            int64
+	PDUsRx            int64
+	PDUsDropped       int64 // reassembly gave up (no buffers, bad placement)
+	CellsDroppedFIFO  int64
+	CellsNoVCI        int64
+	PartialCellsTx    int64 // mid-PDU partial cells (FixedCell policy)
+	SplitCellsTx      int64 // cells composed from two buffer segments
+	CombinedDMAs      int64 // double-cell DMAs issued
+	SingleDMAs        int64
+	RxIRQs            int64
+	TxIRQs            int64
+	Violations        int64
+	ScratchRecycled   int64
+	PDUsTimedOut      int64 // reassemblies aborted by the ReasmTimeout sweep
+	PDUsCRCDropped    int64 // completed PDUs rejected by the AAL5 CRC check
+	CellsDuplicate    int64 // duplicate cells rejected (RejectDuplicates)
+	CellsResync       int64 // cells discarded while resyncing after a framing error (ReasmResync)
+	RxAbortMarkers    int64 // abort markers sent to the driver for partial PDUs
+	CellsQuotaDropped int64 // cells dropped by the per-channel rx FIFO quota (RxFIFOQuota)
+	RecvRingDropped   int64 // descriptors dropped at a full receive ring (RecvDropGrace)
 }
 
 // Channel is one transmit page plus one free/receive page pair — the
@@ -272,13 +306,41 @@ type Channel struct {
 	// allowed is the set of physical frames this channel may name in
 	// descriptors; nil means unrestricted (the kernel channel).
 	allowed map[mem.Frame]bool
+	// vciAllowed optionally narrows authorization per transmit VCI —
+	// the per-ADC descriptor tag when many virtual ADCs multiplex one
+	// physical channel: a descriptor carrying VCI v must name only
+	// frames in vciAllowed[v] (in addition to the channel set). nil
+	// (the common case) costs one branch; descriptors with VCI 0
+	// (free-ring buffers) see only the channel-level check.
+	vciAllowed map[atm.VCI]map[mem.Frame]bool
 
 	tx        txStream
 	peekAhead int // descs peeked past, awaiting tail advance by the DMA engine
 	reasm     map[atm.VCI]*reasmState
 	resync    map[atm.VCI]bool // VCIs discarding until the next Last cell (Config.ReasmResync)
 	stash     []queue.Desc     // internally recycled scratch buffers
+
+	// Per-tenant fairness state (all opt-in; zero-valued when off).
+	fifoCells    int   // cells currently held in the shared rx FIFO (RxFIFOQuota)
+	quotaDropped int64 // cells this channel lost to the quota
+	txDeficit    int   // DRR byte deficit (TxDRRQuantum)
+	ringDropped  int64 // descriptors this channel lost to RecvDropGrace
+
+	// Receive-ring overflow drop state (RecvDropGrace). After a drop
+	// the engine discards the rest of that PDU's descriptors
+	// (rxDropUntilEOP) so the driver never sees a torn PDU, and — if
+	// part of the PDU already reached the ring — defers one abort
+	// marker (rxNeedAbort) to be pushed before the next delivery.
+	rxDropUntilEOP bool
+	rxNeedAbort    bool
+	rxPduPushed    bool // a data descriptor of the current PDU is in the ring
 }
+
+// QuotaDropped reports cells this channel lost to the rx FIFO quota.
+func (c *Channel) QuotaDropped() int64 { return c.quotaDropped }
+
+// RingDropped reports descriptors this channel lost to RecvDropGrace.
+func (c *Channel) RingDropped() int64 { return c.ringDropped }
 
 // Open reports whether the channel has been opened.
 func (c *Channel) Open() bool { return c.open }
@@ -297,14 +359,18 @@ type Board struct {
 
 	DPM *dpm.Memory
 
-	chans  [NumChannels]*Channel
-	vciMap map[atm.VCI]*Channel
+	chans [NumChannels]*Channel
+	demux VCITable // O(1) VCI→channel receive demultiplexer
 
 	outLinks []*atm.Link // transmit side, indexed by stripe position
 	txSink   func(c atm.Cell, link int)
 	rxFIFO   *sim.Chan[rxCell]
 
 	irq func(line int)
+	// vioHook, when set, attributes each authorization violation to the
+	// offending descriptor's transmit VCI — the per-virtual-ADC tag on
+	// multiplexed channels (adc.Manager installs it).
+	vioHook func(ch int, vci atm.VCI)
 
 	txWork  *sim.Cond
 	txRR    int // round-robin cursor among equal-priority channels
@@ -382,6 +448,13 @@ func (b *Board) putRxData(d []byte) {
 type rxCell struct {
 	c    atm.Cell
 	link int
+	// qch is the channel charged for this cell's rx-FIFO occupancy
+	// under RxFIFOQuota; nil when the quota is off or the cell entered
+	// by a path that bypasses accounting (fictitious generator,
+	// InjectCell). The pointer rides with the cell so the charge is
+	// released against the right channel even if the VCI is rebound
+	// while the cell sits in the FIFO.
+	qch *Channel
 }
 
 // New creates a board attached to host h. Interrupts are delivered to
@@ -394,7 +467,6 @@ func New(e *sim.Engine, h *hostsim.Host, cfg Config) *Board {
 		host:   h,
 		cfg:    cfg,
 		DPM:    dpm.New(e, h.Bus),
-		vciMap: make(map[atm.VCI]*Channel),
 		rxFIFO: sim.NewChan[rxCell](e, cfg.RxFIFOCells),
 		irq:    h.Int.Assert,
 		trkRx:  cfg.Name + "-rx",
@@ -475,6 +547,14 @@ func (b *Board) RegisterMetrics(r *metrics.Registry, prefix string) {
 		r.Sample(prefix+"/cells_resync", metrics.KindCounter, func() int64 { return s.CellsResync })
 	}
 	r.Sample(prefix+"/rx_abort_markers", metrics.KindCounter, func() int64 { return s.RxAbortMarkers })
+	if b.cfg.RxFIFOQuota > 0 {
+		// Gated like cells_resync: only quota-enabled configurations
+		// grow their metric name set.
+		r.Sample(prefix+"/cells_quota_dropped", metrics.KindCounter, func() int64 { return s.CellsQuotaDropped })
+	}
+	if b.cfg.RecvDropGrace > 0 {
+		r.Sample(prefix+"/recv_ring_dropped", metrics.KindCounter, func() int64 { return s.RecvRingDropped })
+	}
 	r.Sample(prefix+"/reasm_open", metrics.KindGauge, func() int64 { return int64(b.OpenReassemblies()) })
 	r.Sample(prefix+"/reasm_held_bufs", metrics.KindGauge, func() int64 { return int64(b.HeldReasmBufs()) })
 	b.mRxFIFOHW = r.HighWater(prefix + "/rx_fifo_high_water")
@@ -568,8 +648,27 @@ func rxDelayedCB(a any) {
 }
 
 // enterRxFIFO enters one cell into the receive FIFO (event context),
-// dropping on overflow.
+// dropping on overflow. Under RxFIFOQuota the cell is charged to its
+// VCI's channel first, and dropped instead if that channel already
+// holds its quota of the shared FIFO — per-tenant isolation at the
+// earliest demultiplexing point (§3.1).
 func (b *Board) enterRxFIFO(rc rxCell) {
+	if q := b.cfg.RxFIFOQuota; q > 0 {
+		if ch := b.demux.Lookup(rc.c.VCI); ch != nil {
+			if ch.fifoCells >= q {
+				ch.quotaDropped++
+				b.stats.CellsQuotaDropped++
+				if b.eng.Tracing() {
+					b.eng.Tracef("drop: %s rx FIFO quota ch%d vci=%d", b.cfg.Name, ch.Index, rc.c.VCI)
+				}
+				if b.eng.Recording() {
+					b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "drop", Name: "rx-fifo-quota", Arg: int64(rc.c.VCI)})
+				}
+				return
+			}
+			rc.qch = ch
+		}
+	}
 	if !b.rxFIFO.TrySend(rc) {
 		b.stats.CellsDroppedFIFO++
 		if b.eng.Tracing() {
@@ -579,6 +678,9 @@ func (b *Board) enterRxFIFO(rc rxCell) {
 			b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "drop", Name: "rx-fifo-overflow", Arg: int64(rc.c.VCI)})
 		}
 		return
+	}
+	if rc.qch != nil {
+		rc.qch.fifoCells++
 	}
 	if b.mRxFIFOHW != nil {
 		b.mRxFIFOHW.Observe(int64(b.rxFIFO.Len()))
@@ -626,17 +728,66 @@ func (b *Board) AllowFrames(i int, frames []mem.Frame) {
 // early demultiplexing decision (§3.1). It also makes the VCI usable for
 // transmit on that channel.
 func (b *Board) BindVCI(v atm.VCI, i int) {
-	b.vciMap[v] = b.Channel(i)
+	b.demux.Bind(v, b.Channel(i))
 }
 
 // UnbindVCI removes a VCI route, clearing any pending resync state so a
 // later rebinding of the VCI starts with clean framing.
 func (b *Board) UnbindVCI(v atm.VCI) {
-	if ch := b.vciMap[v]; ch != nil {
+	if ch := b.demux.Unbind(v); ch != nil {
 		delete(ch.resync, v)
 	}
-	delete(b.vciMap, v)
 }
+
+// LookupVCI returns the channel a VCI is routed to (nil if unbound) —
+// the same O(1) demux the receive path uses.
+func (b *Board) LookupVCI(v atm.VCI) *Channel { return b.demux.Lookup(v) }
+
+// BoundVCIs returns the number of VCIs currently routed.
+func (b *Board) BoundVCIs() int { return b.demux.Len() }
+
+// RestrictVCIFrames narrows transmit authorization for VCI v on channel
+// i to the given frames (per-ADC descriptor tagging on a multiplexed
+// channel). The frames are also added to the channel-level set.
+func (b *Board) RestrictVCIFrames(i int, v atm.VCI, frames []mem.Frame) {
+	ch := b.Channel(i)
+	if ch.vciAllowed == nil {
+		ch.vciAllowed = make(map[atm.VCI]map[mem.Frame]bool)
+	}
+	set := ch.vciAllowed[v]
+	if set == nil {
+		set = make(map[mem.Frame]bool, len(frames))
+		ch.vciAllowed[v] = set
+	}
+	for _, f := range frames {
+		set[f] = true
+	}
+	b.AllowFrames(i, frames)
+}
+
+// RevokeVCIFrames removes VCI v's per-VCI authorization from channel i
+// and retires its frames from the channel-level set — connection
+// teardown on a multiplexed channel, so churn cannot grow the
+// authorization tables without bound. The frames must not be shared
+// with another tenant of the channel.
+func (b *Board) RevokeVCIFrames(i int, v atm.VCI) {
+	ch := b.Channel(i)
+	set := ch.vciAllowed[v]
+	if set == nil {
+		return
+	}
+	delete(ch.vciAllowed, v)
+	for f := range set {
+		delete(ch.allowed, f)
+	}
+}
+
+// SetViolationHook installs a callback invoked (in board proc context)
+// on every authorization violation with the channel index and the
+// offending descriptor's VCI — 0 when the descriptor carries no tag
+// (free-ring buffers). adc.Manager uses it to attribute violations to
+// the virtual ADC that issued the descriptor.
+func (b *Board) SetViolationHook(fn func(ch int, vci atm.VCI)) { b.vioHook = fn }
 
 // KickTx tells the transmit processor that new descriptors may be
 // queued. The real processor discovers this by polling the head
@@ -660,13 +811,27 @@ func (b *Board) authorized(ch *Channel, d queue.Desc) bool {
 			return false
 		}
 	}
+	if ch.vciAllowed != nil && d.VCI != 0 {
+		set := ch.vciAllowed[d.VCI]
+		if set == nil {
+			return false // tagged descriptor for a VCI with no grant
+		}
+		for f := first; f <= last; f++ {
+			if !set[f] {
+				return false
+			}
+		}
+	}
 	return true
 }
 
-func (b *Board) violation(ch *Channel) {
+func (b *Board) violation(ch *Channel, vci atm.VCI) {
 	b.stats.Violations++
 	if b.eng.Tracing() {
-		b.eng.Tracef("drop: %s authorization violation ch%d", b.cfg.Name, ch.Index)
+		b.eng.Tracef("drop: %s authorization violation ch%d vci=%d", b.cfg.Name, ch.Index, vci)
+	}
+	if b.vioHook != nil {
+		b.vioHook(ch.Index, vci)
 	}
 	b.irq(VioIRQBase + ch.Index)
 }
@@ -811,6 +976,10 @@ func (b *Board) HeldReasmBufs() int {
 // below one per PDU for bursts. Runs in the rx DMA engine's context so
 // the descriptor never becomes visible before its data.
 func (b *Board) pushRecvDesc(p *sim.Proc, ch *Channel, d queue.Desc) {
+	if b.cfg.RecvDropGrace > 0 {
+		b.pushRecvDescBounded(p, ch, d)
+		return
+	}
 	// Refresh the tail so emptiness is judged against the host's actual
 	// consumption, then push; interrupt only on the empty→non-empty
 	// transition (or unconditionally under the traditional ablation).
@@ -820,6 +989,10 @@ func (b *Board) pushRecvDesc(p *sim.Proc, ch *Channel, d queue.Desc) {
 		// Host is far behind; wait for it to drain.
 		p.Sleep(2 * time.Microsecond)
 	}
+	b.recvPushIRQ(ch, wasEmpty)
+}
+
+func (b *Board) recvPushIRQ(ch *Channel, wasEmpty bool) {
 	if b.cfg.InterruptPerPDU || wasEmpty {
 		b.stats.RxIRQs++
 		if b.eng.Tracing() {
@@ -830,4 +1003,114 @@ func (b *Board) pushRecvDesc(p *sim.Proc, ch *Channel, d queue.Desc) {
 		}
 		b.irq(RxIRQBase + ch.Index)
 	}
+}
+
+// pushRecvDescBounded is the RecvDropGrace push path. The receive DMA
+// engine is one shared processor, so a channel whose host never reaps
+// its receive ring must not hold it hostage: after the grace wait the
+// descriptor's PDU is dropped instead. Dropping preserves two driver
+// invariants — a PDU's descriptors arrive whole (so every descriptor
+// of a dropped PDU after the first is discarded until its EOP), and a
+// partial delivery is always terminated by an abort marker (deferred
+// until the ring has room, pushed before any later delivery).
+func (b *Board) pushRecvDescBounded(p *sim.Proc, ch *Channel, d queue.Desc) {
+	isMarker := d.Flags&queue.FlagErr != 0
+	if ch.rxDropUntilEOP {
+		if !isMarker {
+			if d.Flags&queue.FlagEOP != 0 {
+				ch.rxDropUntilEOP = false
+			}
+			b.dropRecvDesc(ch, d)
+			return
+		}
+		// An abort marker terminates the dropped PDU too, and subsumes
+		// any marker still owed.
+		ch.rxDropUntilEOP = false
+	}
+	if ch.rxNeedAbort && !isMarker {
+		// A deferred abort marker must precede the next delivery.
+		marker := queue.Desc{VCI: d.VCI, Flags: queue.FlagErr}
+		if !b.tryPushRecv(p, ch, marker) {
+			// Still no room: this PDU is dropped as well; the marker
+			// stays owed (one marker suffices — no data reached the
+			// ring in between).
+			b.beginRecvDrop(ch, d)
+			return
+		}
+		b.stats.RxAbortMarkers++
+		ch.rxNeedAbort = false
+		ch.rxPduPushed = false
+	}
+	if !b.tryPushRecv(p, ch, d) {
+		if isMarker {
+			// The marker itself found no room; owe it.
+			ch.rxNeedAbort = true
+			ch.rxPduPushed = false
+			ch.ringDropped++
+			b.stats.RecvRingDropped++
+			return
+		}
+		b.beginRecvDrop(ch, d)
+		return
+	}
+	if isMarker {
+		ch.rxNeedAbort = false
+		ch.rxPduPushed = false
+	} else {
+		ch.rxPduPushed = d.Flags&queue.FlagEOP == 0
+	}
+}
+
+// beginRecvDrop records the start of a dropped PDU at descriptor d:
+// the buffer is recycled on-board, the rest of the PDU will be
+// discarded, and an abort marker is owed if part of the PDU already
+// reached the host.
+func (b *Board) beginRecvDrop(ch *Channel, d queue.Desc) {
+	b.dropRecvDesc(ch, d)
+	if d.Flags&queue.FlagEOP == 0 {
+		ch.rxDropUntilEOP = true
+	}
+	if ch.rxPduPushed {
+		ch.rxNeedAbort = true
+		ch.rxPduPushed = false
+	}
+}
+
+// dropRecvDesc counts one dropped descriptor and recycles its buffer
+// into the channel's scratch stash (the board keeps the buffer: the
+// host never saw the descriptor, so only the board can reuse it).
+func (b *Board) dropRecvDesc(ch *Channel, d queue.Desc) {
+	ch.ringDropped++
+	b.stats.RecvRingDropped++
+	if d.Len > 0 {
+		ch.stash = append(ch.stash, queue.Desc{Addr: d.Addr, Len: d.Len})
+		b.stats.ScratchRecycled++
+	}
+	if b.eng.Tracing() {
+		b.eng.Tracef("drop: %s recv ring full ch%d vci=%d", b.cfg.Name, ch.Index, d.VCI)
+	}
+	if b.eng.Recording() {
+		b.eng.Emit(sim.TraceEvent{At: b.eng.Now(), Ph: 'i', Comp: b.trkRx, Cat: "drop", Name: "recv-ring-drop", Arg: int64(ch.Index)})
+	}
+}
+
+// tryPushRecv attempts a ring push, waiting at most RecvDropGrace for
+// the host to drain; reports success. Interrupt discipline matches the
+// unbounded path.
+func (b *Board) tryPushRecv(p *sim.Proc, ch *Channel, d queue.Desc) bool {
+	const step = 2 * time.Microsecond
+	var waited time.Duration
+	ch.RecvRing.ObserveTail(p, dpm.Board)
+	wasEmpty := ch.RecvRing.WriterLen() == 0
+	for !ch.RecvRing.TryPush(p, dpm.Board, d) {
+		if waited >= b.cfg.RecvDropGrace {
+			return false
+		}
+		p.Sleep(step)
+		waited += step
+		ch.RecvRing.ObserveTail(p, dpm.Board)
+		wasEmpty = ch.RecvRing.WriterLen() == 0
+	}
+	b.recvPushIRQ(ch, wasEmpty)
+	return true
 }

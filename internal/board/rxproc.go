@@ -33,6 +33,9 @@ const combinePeekCost = 150 * time.Nanosecond
 func (b *Board) rxProc(p *sim.Proc) {
 	for {
 		rc := b.rxFIFO.Recv(p)
+		if rc.qch != nil {
+			rc.qch.fifoCells-- // release the RxFIFOQuota charge
+		}
 		b.stats.CellsRx++
 		p.Sleep(b.cfg.CellOverheadRx)
 		b.handleCell(p, rc)
@@ -72,7 +75,7 @@ func (b *Board) popFree(p *sim.Proc, ch *Channel) (queue.Desc, bool) {
 			continue
 		}
 		if !b.authorized(ch, d) {
-			b.violation(ch)
+			b.violation(ch, d.VCI)
 			continue // discard the illegal buffer, try the next
 		}
 		return d, true
@@ -80,7 +83,7 @@ func (b *Board) popFree(p *sim.Proc, ch *Channel) (queue.Desc, bool) {
 }
 
 func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
-	ch := b.vciMap[rc.c.VCI]
+	ch := b.demux.Lookup(rc.c.VCI)
 	if ch == nil || !ch.open {
 		b.stats.CellsNoVCI++
 		return
@@ -139,7 +142,9 @@ func (b *Board) handleCell(p *sim.Proc, rc rxCell) {
 		if next, okPeek := b.rxFIFO.Peek(); okPeek && next.c.VCI == rc.c.VCI && !next.c.Last &&
 			!(b.cfg.RejectDuplicates && rs.duplicate(b.cfg.Strategy, next)) {
 			if noff, okp := rs.wouldPlaceAt(b.cfg.Strategy, next, b.cfg.StripeWidth); okp && noff == off+dataLen {
-				b.rxFIFO.TryRecv()
+				if popped, _ := b.rxFIFO.TryRecv(); popped.qch != nil {
+					popped.qch.fifoCells-- // release the RxFIFOQuota charge
+				}
 				b.stats.CellsRx++
 				p.Sleep(combinePeekCost)
 				_, dl2, c2, ok2 := rs.ingest(b.cfg.Strategy, next, b.cfg.StripeWidth)

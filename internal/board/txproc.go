@@ -71,6 +71,9 @@ func (b *Board) txProc(p *sim.Proc) {
 // fine-grained multiplexing of §2.5.1 ("the microprocessor could
 // transmit one cell from each in turn").
 func (b *Board) pickTxChannel(p *sim.Proc) *Channel {
+	if b.cfg.TxDRRQuantum > 0 {
+		return b.pickTxChannelDRR(p)
+	}
 	var best *Channel
 	bestRank := 0
 	for i := 0; i < NumChannels; i++ {
@@ -93,6 +96,81 @@ func (b *Board) pickTxChannel(p *sim.Proc) *Channel {
 	return best
 }
 
+// pickTxChannelDRR is the TxDRRQuantum arbiter: strict priority still
+// wins between priority classes, but within the top class channels are
+// served deficit-round-robin on payload bytes — each earns a quantum of
+// byte credit per rotation and transmits while its deficit lasts, so a
+// tenant shipping short PDUs is charged for the bytes it sends, not the
+// cell slots it occupies. Deterministic: index order, one cursor.
+func (b *Board) pickTxChannelDRR(p *sim.Proc) *Channel {
+	// Pass 1: find ready channels (gathering descriptor chains as a
+	// side effect) and the top priority among them. An idle channel's
+	// deficit resets — DRR credit exists only while backlogged.
+	bestPrio := 0
+	any := false
+	for i := 0; i < NumChannels; i++ {
+		ch := b.chans[i]
+		if ch == nil || !ch.open {
+			continue
+		}
+		if !ch.tx.active && !b.gather(p, ch) {
+			ch.txDeficit = 0
+			continue
+		}
+		if !any || ch.Priority > bestPrio {
+			bestPrio = ch.Priority
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Pass 2: from the cursor (inclusive, so the current channel keeps
+	// the link while its deficit lasts), pick the first top-priority
+	// ready channel with credit left.
+	for k := 0; k < NumChannels; k++ {
+		idx := (b.txRR + k) % NumChannels
+		ch := b.chans[idx]
+		if ch == nil || !ch.open || !ch.tx.active || ch.Priority != bestPrio {
+			continue
+		}
+		if ch.txDeficit > 0 {
+			b.txRR = idx
+			return ch
+		}
+	}
+	// Every ready channel exhausted its credit: a new rotation begins —
+	// replenish all of them and advance past the cursor.
+	for i := 0; i < NumChannels; i++ {
+		ch := b.chans[i]
+		if ch != nil && ch.open && ch.tx.active && ch.Priority == bestPrio {
+			ch.txDeficit += b.cfg.TxDRRQuantum
+		}
+	}
+	for k := 1; k <= NumChannels; k++ {
+		idx := (b.txRR + k) % NumChannels
+		ch := b.chans[idx]
+		if ch != nil && ch.open && ch.tx.active && ch.Priority == bestPrio {
+			b.txRR = idx
+			return ch
+		}
+	}
+	return nil // unreachable: any == true
+}
+
+// chargeDRR debits a transmitted cell's payload bytes against its
+// channel's deficit (minimum one byte per cell, so zero-length PDUs
+// cannot monopolize the link for free).
+func (b *Board) chargeDRR(ch *Channel, bytes int) {
+	if b.cfg.TxDRRQuantum <= 0 {
+		return
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	ch.txDeficit -= bytes
+}
+
 // gather peeks descriptors from ch's transmit ring until a full PDU
 // (through its EOP descriptor) is visible, then activates the stream.
 // It reports whether a PDU is ready. Descriptors are not consumed here;
@@ -107,7 +185,7 @@ func (b *Board) gather(p *sim.Proc, ch *Channel) bool {
 		}
 		if !b.authorized(ch, d) {
 			st.poison = true
-			b.violation(ch)
+			b.violation(ch, d.VCI)
 		}
 		st.descs = append(st.descs, d)
 		if d.Flags&queue.FlagEOP != 0 {
@@ -207,9 +285,11 @@ func (b *Board) emitCell(p *sim.Proc, ch *Channel) {
 		if taken < want {
 			b.stats.PartialCellsTx++
 		}
+		b.chargeDRR(ch, taken)
 		if st.bytePos == st.pduLen {
 			// Data exhausted: the trailer goes in its own (partial) cell.
 			st.cellIdx++
+			b.chargeDRR(ch, 0) // the trailer cell occupies a slot too
 			b.txSubmit(p, cmd)
 			p.Sleep(b.cfg.CellOverheadTx)
 			trailerCmd := txCmd{
@@ -241,6 +321,7 @@ func (b *Board) emitCell(p *sim.Proc, ch *Channel) {
 	}
 	cmd.segs = segs
 	cmd.dataLen = taken
+	b.chargeDRR(ch, taken)
 	isLast := st.cellIdx == st.total-1
 	cmd.eom = st.total-st.cellIdx <= b.cfg.StripeWidth
 	cmd.last = isLast

@@ -1,0 +1,155 @@
+package board
+
+import "repro/internal/atm"
+
+// VCITable is the receive demultiplexer: an open-addressed hash table
+// from VCI to channel, replacing the Go map on the per-cell hot path.
+// The paper's early-demultiplexing decision (§3.1) puts this lookup in
+// front of every arriving cell, so it must stay O(1), allocation-free,
+// and branch-light at any tenant count — a Go map lookup hashes through
+// an interface-free fast path but still costs a function call, bucket
+// probing, and (under growth) write barriers; the open-addressed table
+// is a single multiplicative hash plus a linear probe over a dense
+// slot array.
+//
+// Invariants:
+//   - capacity is a power of two; load factor is kept below 3/4, so
+//     probe sequences stay short and Lookup needs no bounds checks
+//     beyond the mask;
+//   - deletion uses backward-shift compaction (no tombstones), so churn
+//     (open/close cycling) cannot degrade probe lengths over time;
+//   - growth happens only in Bind — control-plane work at connection
+//     setup — never in Lookup, keeping the data path zero-alloc.
+//
+// The zero value is an empty table.
+type VCITable struct {
+	slots []vciSlot
+	mask  uint32
+	n     int
+}
+
+type vciSlot struct {
+	ch  *Channel // nil marks an empty slot
+	vci atm.VCI
+}
+
+// vciHash spreads the 16-bit VCI over the table with a multiplicative
+// (Fibonacci) hash; adjacent VCIs — the common allocation pattern —
+// land far apart, keeping probe clusters short.
+func vciHash(v atm.VCI) uint32 { return uint32(v) * 0x9E3779B1 }
+
+// Lookup returns the channel bound to v, or nil. Zero allocations,
+// no calls, one multiply and a masked linear probe.
+func (t *VCITable) Lookup(v atm.VCI) *Channel {
+	if t.n == 0 {
+		return nil
+	}
+	i := vciHash(v) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.ch == nil {
+			return nil
+		}
+		if s.vci == v {
+			return s.ch
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Len returns the number of bound VCIs.
+func (t *VCITable) Len() int { return t.n }
+
+// Bind routes v to ch, replacing any existing binding. Control plane:
+// may grow (and therefore allocate).
+func (t *VCITable) Bind(v atm.VCI, ch *Channel) {
+	if ch == nil {
+		panic("board: VCITable.Bind nil channel")
+	}
+	if t.slots == nil || 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	i := vciHash(v) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.ch == nil {
+			*s = vciSlot{ch: ch, vci: v}
+			t.n++
+			return
+		}
+		if s.vci == v {
+			s.ch = ch
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Unbind removes v's binding and returns the channel it was bound to
+// (nil if unbound). Backward-shift compaction keeps the invariant that
+// every entry is reachable from its home slot without tombstones.
+func (t *VCITable) Unbind(v atm.VCI) *Channel {
+	if t.n == 0 {
+		return nil
+	}
+	i := vciHash(v) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.ch == nil {
+			return nil
+		}
+		if s.vci == v {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	ch := t.slots[i].ch
+	t.n--
+	// Shift the probe cluster back over the hole. An entry at j may
+	// move into the hole at i only if its home slot is cyclically
+	// outside (i, j] — otherwise moving it would break its own probe
+	// chain.
+	j := i
+	for {
+		t.slots[i] = vciSlot{}
+		for {
+			j = (j + 1) & t.mask
+			if t.slots[j].ch == nil {
+				return ch
+			}
+			home := vciHash(t.slots[j].vci) & t.mask
+			if cyclicBetween(i, home, j) {
+				continue // home lies in (i, j]: entry stays put
+			}
+			t.slots[i] = t.slots[j]
+			i = j
+			break
+		}
+	}
+}
+
+// cyclicBetween reports whether x lies in the half-open cyclic interval
+// (lo, hi].
+func cyclicBetween(lo, x, hi uint32) bool {
+	if lo <= hi {
+		return lo < x && x <= hi
+	}
+	return lo < x || x <= hi
+}
+
+// grow doubles (or initializes) the slot array and rehashes.
+func (t *VCITable) grow() {
+	old := t.slots
+	newCap := 16
+	if len(old) > 0 {
+		newCap = 2 * len(old)
+	}
+	t.slots = make([]vciSlot, newCap)
+	t.mask = uint32(newCap - 1)
+	t.n = 0
+	for i := range old {
+		if old[i].ch != nil {
+			t.Bind(old[i].vci, old[i].ch)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package board
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atm"
+)
+
+// TestVCITableBasic exercises bind/lookup/unbind including rebinding.
+func TestVCITableBasic(t *testing.T) {
+	var tab VCITable
+	a, b := &Channel{Index: 1}, &Channel{Index: 2}
+	if tab.Lookup(7) != nil {
+		t.Fatal("empty table lookup != nil")
+	}
+	tab.Bind(7, a)
+	tab.Bind(8, b)
+	if tab.Lookup(7) != a || tab.Lookup(8) != b {
+		t.Fatal("lookup after bind")
+	}
+	tab.Bind(7, b) // rebind
+	if tab.Lookup(7) != b || tab.Len() != 2 {
+		t.Fatalf("rebind: got len=%d", tab.Len())
+	}
+	if got := tab.Unbind(7); got != b {
+		t.Fatalf("unbind returned %v", got)
+	}
+	if tab.Lookup(7) != nil || tab.Lookup(8) != b || tab.Len() != 1 {
+		t.Fatal("state after unbind")
+	}
+	if tab.Unbind(7) != nil {
+		t.Fatal("double unbind != nil")
+	}
+}
+
+// TestVCITableChurn differential-tests the open-addressed table against
+// a Go map through a long seeded open/close cycle — the backward-shift
+// deletion is the part worth hammering.
+func TestVCITableChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0514))
+	var tab VCITable
+	ref := make(map[atm.VCI]*Channel)
+	chans := make([]*Channel, 8)
+	for i := range chans {
+		chans[i] = &Channel{Index: i}
+	}
+	for step := 0; step < 200000; step++ {
+		v := atm.VCI(rng.Intn(2048))
+		switch rng.Intn(3) {
+		case 0, 1:
+			ch := chans[rng.Intn(len(chans))]
+			tab.Bind(v, ch)
+			ref[v] = ch
+		case 2:
+			got := tab.Unbind(v)
+			if got != ref[v] {
+				t.Fatalf("step %d: Unbind(%d)=%v want %v", step, v, got, ref[v])
+			}
+			delete(ref, v)
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("step %d: len %d != %d", step, tab.Len(), len(ref))
+		}
+		// Spot-check a few random keys every step and the full map
+		// periodically.
+		for k := 0; k < 4; k++ {
+			probe := atm.VCI(rng.Intn(2048))
+			if tab.Lookup(probe) != ref[probe] {
+				t.Fatalf("step %d: Lookup(%d) mismatch", step, probe)
+			}
+		}
+		if step%5000 == 0 {
+			for v, ch := range ref {
+				if tab.Lookup(v) != ch {
+					t.Fatalf("step %d: full check Lookup(%d) mismatch", step, v)
+				}
+			}
+		}
+	}
+}
+
+// TestVCITableLookupZeroAlloc pins the demux hot path at zero
+// allocations per lookup with 1024 tenants bound — the regression gate
+// for the per-cell receive path.
+func TestVCITableLookupZeroAlloc(t *testing.T) {
+	var tab VCITable
+	ch := &Channel{Index: 3}
+	for v := 0; v < 1024; v++ {
+		tab.Bind(atm.VCI(100+v), ch)
+	}
+	var sink *Channel
+	allocs := testing.AllocsPerRun(1000, func() {
+		for v := 0; v < 1024; v++ {
+			sink = tab.Lookup(atm.VCI(100 + v))
+		}
+	})
+	if sink == nil {
+		t.Fatal("lookup failed")
+	}
+	if allocs != 0 {
+		t.Fatalf("demux lookup allocates: %v allocs per 1024 lookups", allocs)
+	}
+}
+
+// TestBoardDemuxBindUnbind checks the board-level wiring: resync state
+// clears on unbind and rebinding routes to the new channel.
+func TestBoardDemuxBindUnbind(t *testing.T) {
+	b := newRig(t, Config{}).b
+	b.OpenChannel(1, 1, nil)
+	b.OpenChannel(2, 1, nil)
+	b.BindVCI(42, 1)
+	if b.LookupVCI(42) != b.Channel(1) {
+		t.Fatal("bind routed wrong")
+	}
+	b.BindVCI(42, 2)
+	if b.LookupVCI(42) != b.Channel(2) {
+		t.Fatal("rebind routed wrong")
+	}
+	if b.BoundVCIs() != 1 {
+		t.Fatalf("BoundVCIs = %d, want 1", b.BoundVCIs())
+	}
+	b.UnbindVCI(42)
+	if b.LookupVCI(42) != nil || b.BoundVCIs() != 0 {
+		t.Fatal("unbind did not clear route")
+	}
+}
+
+// BenchmarkVCITableLookup measures demux ns/cell at three tenant
+// counts; near-flat scaling is the point of the open-addressed table.
+func BenchmarkVCITableLookup(b *testing.B) {
+	for _, n := range []int{8, 64, 1024} {
+		b.Run(benchName(n), func(b *testing.B) {
+			var tab VCITable
+			ch := &Channel{Index: 3}
+			vcis := make([]atm.VCI, n)
+			for i := range vcis {
+				vcis[i] = atm.VCI(100 + i)
+				tab.Bind(vcis[i], ch)
+			}
+			b.ReportAllocs()
+			var sink *Channel
+			for i := 0; i < b.N; i++ {
+				sink = tab.Lookup(vcis[i%n])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkGoMapLookup is the baseline the table replaces.
+func BenchmarkGoMapLookup(b *testing.B) {
+	for _, n := range []int{8, 64, 1024} {
+		b.Run(benchName(n), func(b *testing.B) {
+			tab := make(map[atm.VCI]*Channel)
+			ch := &Channel{Index: 3}
+			vcis := make([]atm.VCI, n)
+			for i := range vcis {
+				vcis[i] = atm.VCI(100 + i)
+				tab[vcis[i]] = ch
+			}
+			b.ReportAllocs()
+			var sink *Channel
+			for i := 0; i < b.N; i++ {
+				sink = tab[vcis[i%n]]
+			}
+			_ = sink
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 8:
+		return "tenants8"
+	case 64:
+		return "tenants64"
+	default:
+		return "tenants1024"
+	}
+}

@@ -111,6 +111,14 @@ type Options struct {
 	// session must not grow new (all-zero) families. No-op when Metrics
 	// is nil.
 	AdaptiveMetrics bool
+	// ADCMetrics additionally registers the multi-tenant plane's
+	// telemetry — the ADC managers' violation and mux-occupancy families
+	// plus the fbuf manager's churn family — when an experiment builds
+	// those components (RunTenants). Gated separately for the same reason
+	// as AdaptiveMetrics: the committed BENCH_metrics.json snapshot pins
+	// the metric name set of configurations that never open an ADC. No-op
+	// when Metrics is nil.
+	ADCMetrics bool
 	// Shards partitions the topology over that many engine shards run by
 	// a conservative-parallel scheduler (sim.ShardGroup), with the link
 	// propagation delay as lookahead. 0 or 1 selects the exact serial

@@ -12,9 +12,16 @@
 // magnitude difference in how fast the data can be transferred across a
 // domain boundary".
 //
-// The manager keeps preallocated cached-fbuf pools for the 16 most
-// recently used paths plus a single pool of uncached fbufs, exactly the
-// driver strategy the paper describes.
+// The manager keeps preallocated cached-fbuf pools for the most
+// recently used paths (16 by default, §3.1) on an intrusive LRU list:
+// touching a path on allocation is O(1), and when path churn exceeds
+// the capacity the list tail is evicted in O(1). Eviction *demotes* the
+// pool's fbufs: every non-producer mapping is removed from the page
+// tables immediately — a stale access faults, it cannot read recycled
+// data — while the shootdown cost is charged lazily to the next fbuf
+// operation, the way deferred TLB invalidation batches the work.
+// Outstanding fbufs of an evicted (or undefined) path demote when they
+// come back through Free.
 package fbuf
 
 import (
@@ -52,6 +59,7 @@ type Fbuf struct {
 	size   int
 	vas    map[*Domain]mem.VirtAddr
 	path   atm.VCI // the path whose pool owns it; 0 for uncached
+	pool   *pathPool
 	cached bool
 }
 
@@ -130,6 +138,7 @@ func (f *Fbuf) Transfer(p *sim.Proc, from, to *Domain) error {
 		f.mgr.stats.CachedTransfers++
 		return nil
 	}
+	f.mgr.drainPending(p)
 	f.mgr.host.Compute(p, prof.FbufTransfer+time.Duration(len(f.frames))*prof.FbufMapPerPage)
 	va, err := to.Space.MapFrames(f.frames)
 	if err != nil {
@@ -150,14 +159,27 @@ type Stats struct {
 	UncachedTransfers int64
 	PagesMapped       int64
 	PathEvictions     int64
+	PathUndefines     int64
+	Demotions         int64 // fbufs that lost cached status (evict/undefine)
+	PagesUnmapped     int64
 }
 
-// pathPool is the preallocated cached-fbuf queue for one path.
+type poolState int
+
+const (
+	poolLive    poolState = iota
+	poolEvicted           // LRU-evicted: outstanding fbufs demote at Free
+	poolDead              // undefined: outstanding fbufs are destroyed at Free
+)
+
+// pathPool is the preallocated cached-fbuf queue for one path, a node
+// on the manager's intrusive LRU list (head = most recent).
 type pathPool struct {
-	vci     atm.VCI
-	domains []*Domain
-	free    []*Fbuf
-	lastUse int64 // LRU clock
+	vci        atm.VCI
+	domains    []*Domain
+	free       []*Fbuf
+	state      poolState
+	prev, next *pathPool
 }
 
 // Manager is one host's fbuf allocator.
@@ -165,8 +187,10 @@ type Manager struct {
 	host     *hostsim.Host
 	maxPaths int
 	pools    map[atm.VCI]*pathPool
+	lruHead  *pathPool
+	lruTail  *pathPool
 	uncached []*Fbuf
-	clock    int64
+	pending  int // pages unmapped but not yet charged (lazy shootdown)
 	stats    Stats
 }
 
@@ -200,8 +224,125 @@ func (m *Manager) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.Sample(prefix+"/path_evictions", metrics.KindCounter, func() int64 { return s.PathEvictions })
 }
 
+// RegisterChurnMetrics registers the churn-plane family — demotions,
+// unmapped pages, undefines, and the live-pool gauge — as a separate,
+// caller-gated set (the AdaptiveMetrics idiom), so legacy snapshots
+// keep their metric name set byte-identical.
+func (m *Manager) RegisterChurnMetrics(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	s := &m.stats
+	r.Sample(prefix+"/demotions", metrics.KindCounter, func() int64 { return s.Demotions })
+	r.Sample(prefix+"/pages_unmapped", metrics.KindCounter, func() int64 { return s.PagesUnmapped })
+	r.Sample(prefix+"/path_undefines", metrics.KindCounter, func() int64 { return s.PathUndefines })
+	r.Sample(prefix+"/cached_paths", metrics.KindGauge, func() int64 { return int64(len(m.pools)) })
+}
+
 // CachedPaths returns the number of live per-path pools.
 func (m *Manager) CachedPaths() int { return len(m.pools) }
+
+// PathDefined reports whether vci's cached pool is currently live — it
+// may have been LRU-evicted since DefinePath, so churning callers check
+// before UndefinePath.
+func (m *Manager) PathDefined(vci atm.VCI) bool {
+	_, ok := m.pools[vci]
+	return ok
+}
+
+// lruUnlink removes pool from the recency list.
+func (m *Manager) lruUnlink(pool *pathPool) {
+	if pool.prev != nil {
+		pool.prev.next = pool.next
+	} else {
+		m.lruHead = pool.next
+	}
+	if pool.next != nil {
+		pool.next.prev = pool.prev
+	} else {
+		m.lruTail = pool.prev
+	}
+	pool.prev, pool.next = nil, nil
+}
+
+// lruPushFront makes pool the most recently used.
+func (m *Manager) lruPushFront(pool *pathPool) {
+	pool.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = pool
+	}
+	m.lruHead = pool
+	if m.lruTail == nil {
+		m.lruTail = pool
+	}
+}
+
+// touch refreshes pool's recency in O(1).
+func (m *Manager) touch(pool *pathPool) {
+	if m.lruHead == pool {
+		return
+	}
+	m.lruUnlink(pool)
+	m.lruPushFront(pool)
+}
+
+// drainPending charges the accumulated lazy-unmap (TLB shootdown) cost
+// to p. Called at the head of every operation that already pays mapping
+// work, so demotion costs batch instead of landing on the evictor.
+func (m *Manager) drainPending(p *sim.Proc) {
+	if m.pending == 0 {
+		return
+	}
+	m.host.Compute(p, time.Duration(m.pending)*m.host.Prof.FbufMapPerPage)
+	m.pending = 0
+}
+
+// unmapFrom removes d's mapping of f, page by page. A missing page
+// table entry here is a double unmap — a manager invariant violation —
+// and panics.
+func (m *Manager) unmapFrom(f *Fbuf, d *Domain, va mem.VirtAddr) {
+	vpn := d.Space.VPN(va)
+	for j := range f.frames {
+		if _, err := d.Space.Unmap(vpn + uint32(j)); err != nil {
+			panic("fbuf: double unmap: " + err.Error())
+		}
+	}
+	m.pending += len(f.frames)
+	m.stats.PagesUnmapped += int64(len(f.frames))
+}
+
+// demote strips an fbuf of its cached status: every mapping except the
+// producer's (the path's first domain) is torn out of the page tables
+// and the fbuf joins the uncached pool.
+func (m *Manager) demote(f *Fbuf) {
+	keep := f.pool.domains[0]
+	for d, va := range f.vas {
+		if d == keep {
+			continue
+		}
+		m.unmapFrom(f, d, va)
+	}
+	f.vas = map[*Domain]mem.VirtAddr{keep: f.vas[keep]}
+	f.cached = false
+	f.path = 0
+	f.pool = nil
+	m.stats.Demotions++
+	m.uncached = append(m.uncached, f)
+}
+
+// destroy unmaps an fbuf everywhere and returns its frames to the host.
+func (m *Manager) destroy(f *Fbuf) {
+	for d, va := range f.vas {
+		m.unmapFrom(f, d, va)
+	}
+	f.vas = nil
+	for _, fr := range f.frames {
+		m.host.Mem.FreeFrame(fr)
+	}
+	f.frames = nil
+	f.pool = nil
+	f.cached = false
+}
 
 func (m *Manager) newFbuf(size int) (*Fbuf, error) {
 	ps := m.host.Mem.PageSize()
@@ -210,6 +351,9 @@ func (m *Manager) newFbuf(size int) (*Fbuf, error) {
 	for i := 0; i < pages; i++ {
 		f, err := m.host.Mem.AllocFrame()
 		if err != nil {
+			for _, fr := range frames {
+				m.host.Mem.FreeFrame(fr)
+			}
 			return nil, err
 		}
 		frames = append(frames, f)
@@ -224,10 +368,11 @@ func (m *Manager) newFbuf(size int) (*Fbuf, error) {
 
 // DefinePath preallocates a pool of count cached fbufs of the given
 // size for the path identified by vci, mapped up-front into every
-// domain in the path's chain. If the 16-pool budget is exceeded the
-// least recently used path is evicted (its fbufs lose their cached
-// status). Setup cost (the mapping work) is charged to p — it happens
-// at connection establishment, off the data path.
+// domain in the path's chain. If the pool budget is exceeded the least
+// recently used path is evicted (its fbufs are demoted). Setup cost
+// (the mapping work) is charged to p — it happens at connection
+// establishment, off the data path. On failure nothing is retained:
+// partially built fbufs are destroyed.
 func (m *Manager) DefinePath(p *sim.Proc, vci atm.VCI, domains []*Domain, count, size int) error {
 	if len(domains) == 0 {
 		return fmt.Errorf("fbuf: path needs at least one domain")
@@ -235,66 +380,88 @@ func (m *Manager) DefinePath(p *sim.Proc, vci atm.VCI, domains []*Domain, count,
 	if _, dup := m.pools[vci]; dup {
 		return fmt.Errorf("fbuf: path for VCI %d already defined", vci)
 	}
+	m.drainPending(p)
 	if len(m.pools) >= m.maxPaths {
 		m.evictLRU()
 	}
 	pool := &pathPool{vci: vci, domains: domains}
+	fail := func(err error) error {
+		for _, f := range pool.free {
+			m.destroy(f)
+		}
+		return err
+	}
 	for i := 0; i < count; i++ {
 		f, err := m.newFbuf(size)
 		if err != nil {
-			return err
+			return fail(err)
 		}
+		f.cached = true
+		f.path = vci
+		f.pool = pool
+		pool.free = append(pool.free, f)
 		for _, d := range domains {
 			va, err := d.Space.MapFrames(f.frames)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			f.vas[d] = va
 			m.host.Compute(p, time.Duration(len(f.frames))*m.host.Prof.FbufMapPerPage)
 		}
-		f.cached = true
-		f.path = vci
-		pool.free = append(pool.free, f)
 	}
-	m.clock++
-	pool.lastUse = m.clock
 	m.pools[vci] = pool
+	m.lruPushFront(pool)
 	return nil
 }
 
-func (m *Manager) evictLRU() {
-	var victim *pathPool
-	for _, pool := range m.pools {
-		if victim == nil || pool.lastUse < victim.lastUse {
-			victim = pool
-		}
+// UndefinePath tears a path down at connection close: pooled fbufs are
+// unmapped everywhere and their frames freed; fbufs still in flight are
+// destroyed when they come back through Free. Churning tenants call
+// this so open/close cycles cannot grow the cache without bound.
+func (m *Manager) UndefinePath(p *sim.Proc, vci atm.VCI) error {
+	pool, ok := m.pools[vci]
+	if !ok {
+		return fmt.Errorf("fbuf: path for VCI %d not defined", vci)
 	}
+	delete(m.pools, vci)
+	m.lruUnlink(pool)
+	pool.state = poolDead
+	for _, f := range pool.free {
+		m.destroy(f)
+	}
+	pool.free = nil
+	m.stats.PathUndefines++
+	m.drainPending(p)
+	return nil
+}
+
+// evictLRU drops the least recently used path pool in O(1): the pool
+// leaves the cache and its pooled fbufs are demoted. The page-table
+// state changes now (stale mappings must not stay readable); the
+// shootdown cost is charged lazily via drainPending.
+func (m *Manager) evictLRU() {
+	victim := m.lruTail
 	if victim == nil {
 		return
 	}
+	m.lruUnlink(victim)
 	delete(m.pools, victim.vci)
+	victim.state = poolEvicted
 	m.stats.PathEvictions++
 	for _, f := range victim.free {
-		f.cached = false
-		f.path = 0
-		// Its mappings are torn down lazily; as an uncached fbuf it will
-		// be remapped per transfer. Keep only the first domain (its
-		// producer) mapped.
-		first := victim.domains[0]
-		va := f.vas[first]
-		f.vas = map[*Domain]mem.VirtAddr{first: va}
-		m.uncached = append(m.uncached, f)
+		m.demote(f)
 	}
+	victim.free = nil
 }
 
 // Alloc returns an fbuf for the given path: a cached one when the
 // path's pool has any ("the data path ... must be determined by the
 // adaptor so that it can be stored in an appropriate buffer"),
-// otherwise an uncached fbuf mapped only into origin.
+// otherwise an uncached fbuf mapped only into origin. A cached hit is
+// O(1) including the LRU touch.
 func (m *Manager) Alloc(p *sim.Proc, vci atm.VCI, origin *Domain, size int) (*Fbuf, error) {
 	if pool, ok := m.pools[vci]; ok {
-		m.clock++
-		pool.lastUse = m.clock
+		m.touch(pool)
 		if n := len(pool.free); n > 0 {
 			f := pool.free[n-1]
 			pool.free = pool.free[:n-1]
@@ -310,6 +477,7 @@ func (m *Manager) Alloc(p *sim.Proc, vci atm.VCI, origin *Domain, size int) (*Fb
 // mapped only into origin.
 func (m *Manager) AllocUncached(p *sim.Proc, origin *Domain, size int) (*Fbuf, error) {
 	m.stats.UncachedAllocs++
+	m.drainPending(p)
 	for i, f := range m.uncached {
 		if f.size >= size {
 			m.uncached = append(m.uncached[:i], m.uncached[i+1:]...)
@@ -339,14 +507,20 @@ func (m *Manager) AllocUncached(p *sim.Proc, origin *Domain, size int) (*Fbuf, e
 
 // Free returns an fbuf to its pool: cached fbufs rejoin their path's
 // pool with mappings intact (that is the whole point); uncached ones go
-// to the shared pool.
+// to the shared pool. An outstanding fbuf whose path was evicted while
+// it was in flight demotes here; one whose path was undefined is
+// destroyed.
 func (m *Manager) Free(f *Fbuf) {
 	if f.cached {
-		if pool, ok := m.pools[f.path]; ok {
-			pool.free = append(pool.free, f)
-			return
+		switch f.pool.state {
+		case poolLive:
+			f.pool.free = append(f.pool.free, f)
+		case poolEvicted:
+			m.demote(f)
+		case poolDead:
+			m.destroy(f)
 		}
-		f.cached = false
+		return
 	}
 	m.uncached = append(m.uncached, f)
 }
